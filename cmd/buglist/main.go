@@ -1,0 +1,44 @@
+// Command buglist runs the §6.2 coverage study: Mumak against the
+// seeded ground-truth registry (43 correctness + 101 performance bugs
+// distributed like Witcher's list), one bug at a time, including the
+// Level Hashing recovery-oracle story.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	_ "mumak/internal/apps/art"
+	_ "mumak/internal/apps/btree"
+	_ "mumak/internal/apps/cceh"
+	_ "mumak/internal/apps/fastfair"
+	_ "mumak/internal/apps/hashatomic"
+	_ "mumak/internal/apps/levelhash"
+	_ "mumak/internal/apps/rbtree"
+	_ "mumak/internal/apps/redis"
+	_ "mumak/internal/apps/wort"
+	"mumak/internal/bugs"
+	"mumak/internal/experiments"
+)
+
+func main() {
+	var (
+		ops        = flag.Int("ops", 2000, "per-bug workload size")
+		budget     = flag.Duration("budget", 60*time.Second, "per-bug analysis budget")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		noRecovery = flag.Bool("no-recovery", false, "analyse Level Hashing with its original (absent) recovery procedure")
+	)
+	flag.Parse()
+	sc := experiments.Scale{Ops: *ops, Budget: *budget, Seed: *seed}
+	res, err := experiments.Coverage(sc, !*noRecovery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "buglist:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderCoverage(res))
+	c, p, fc, fp := bugs.Counts()
+	fmt.Printf("registry expectation: %d/%d correctness, %d/%d performance -> %d%%\n",
+		fc, c, fp, p, 100*(fc+fp)/(c+p))
+}

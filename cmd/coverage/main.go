@@ -1,0 +1,36 @@
+// Command coverage runs experiment E1 (claim C1): the unique-execution-
+// path coverage of the PMDK data stores as a function of workload size,
+// reproducing Fig 3a (persistency instructions) and Fig 3b (stores).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	_ "mumak/internal/apps/btree"
+	_ "mumak/internal/apps/hashatomic"
+	_ "mumak/internal/apps/rbtree"
+	"mumak/internal/experiments"
+)
+
+func main() {
+	var (
+		divisor = flag.Int("divisor", 10, "divide the paper's workload sizes (3000..300000) by this factor")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	sizes := experiments.Fig3Sizes(*divisor)
+	fig3a, fig3b, err := experiments.Fig3(sizes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderSeries(
+		"Unique execution paths to persistency instructions vs workload size (Fig 3a)",
+		"ops", "paths", fig3a))
+	fmt.Println()
+	fmt.Print(experiments.RenderSeries(
+		"Unique execution paths to PM stores vs workload size (Fig 3b)",
+		"ops", "paths", fig3b))
+}

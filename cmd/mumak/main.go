@@ -1,0 +1,169 @@
+// Command mumak is the analysis frontend (the paper's Bash driver): it
+// takes a registered target "binary" and a workload description, runs
+// the full Mumak pipeline — fault injection with the recovery oracle
+// plus single-pass trace analysis — and prints the merged bug report.
+//
+// Example:
+//
+//	mumak -target btree -ops 15000 -spt
+//	mumak -target montage-hashtable -montage-buggy
+//	mumak -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mumak/internal/apps"
+	_ "mumak/internal/apps/art"
+	_ "mumak/internal/apps/btree"
+	_ "mumak/internal/apps/cceh"
+	_ "mumak/internal/apps/fastfair"
+	_ "mumak/internal/apps/hashatomic"
+	_ "mumak/internal/apps/levelhash"
+	_ "mumak/internal/apps/montageht"
+	_ "mumak/internal/apps/pmemkv"
+	_ "mumak/internal/apps/rbtree"
+	_ "mumak/internal/apps/redis"
+	_ "mumak/internal/apps/rocksdb"
+	_ "mumak/internal/apps/wort"
+	"mumak/internal/bugs"
+	"mumak/internal/core"
+	"mumak/internal/fpt"
+	"mumak/internal/pmdk"
+	"mumak/internal/workload"
+)
+
+func main() {
+	var (
+		target     = flag.String("target", "btree", "application under test (see -list)")
+		list       = flag.Bool("list", false, "list registered targets and exit")
+		ops        = flag.Int("ops", 15000, "workload size (the paper uses 150000)")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		spt        = flag.Bool("spt", false, "single put per transaction variant")
+		pmdkVer    = flag.String("pmdk", "1.6", "PMDK version for PMDK-based targets: 1.6, 1.8, 1.12")
+		warnings   = flag.Bool("warnings", false, "include trace-analysis warnings in the report")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON (CI-pipeline friendly)")
+		eadr       = flag.Bool("eadr", false, "analyse under an eADR persistence domain (§4.3)")
+		storeGran  = flag.Bool("store-granularity", false, "inject at every store instead of persistency instructions (ablation)")
+		stackMode  = flag.Bool("stack-mode", false, "match failure points by call stack instead of instruction counter")
+		budget     = flag.Duration("budget", 10*time.Minute, "analysis wall-clock budget (the paper uses 12h)")
+		seedBugs   = flag.String("seed-bugs", "", "comma-separated seeded bug IDs to plant (see internal/bugs)")
+		montageBug = flag.Bool("montage-buggy", false, "enable the two historical Montage bugs")
+		recovery   = flag.Bool("with-recovery", true, "use the full recovery procedure for targets that ship without one")
+		poolMB     = flag.Int("pool-mb", 64, "simulated PM pool size in MiB")
+		artifacts  = flag.String("artifacts", "", "directory to store the serialised failure point tree and trace (step 5/6 of Fig 1)")
+		printTree  = flag.Bool("print-tree", false, "render the failure point tree (the Fig 2 view)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(apps.Names(), "\n"))
+		return
+	}
+	ver, err := parseVersion(*pmdkVer)
+	if err != nil {
+		fatal(err)
+	}
+	set := bugs.Set{}
+	if *seedBugs != "" {
+		for _, id := range strings.Split(*seedBugs, ",") {
+			bid := bugs.ID(strings.TrimSpace(id))
+			if _, ok := bugs.Lookup(bid); !ok {
+				fatal(fmt.Errorf("unknown seeded bug %q", bid))
+			}
+			set[bid] = true
+		}
+	}
+	cfg := apps.Config{
+		Ver: ver, SPT: *spt, Bugs: set,
+		WithRecovery: *recovery, MontageBuggy: *montageBug,
+		PoolSize: *poolMB << 20,
+	}
+	app, err := apps.New(*target, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	w := workload.Generate(workload.Config{N: *ops, Seed: *seed})
+	gran := fpt.GranPersistency
+	if *storeGran {
+		gran = fpt.GranStore
+	}
+	res, err := core.Analyze(app, w, core.Config{
+		Granularity:  gran,
+		Budget:       *budget,
+		StackMode:    *stackMode,
+		KeepWarnings: *warnings,
+		EADR:         *eadr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *artifacts != "" {
+		if err := saveArtifacts(*artifacts, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut {
+		if err := res.Report.WriteJSON(os.Stdout, *warnings); err != nil {
+			fatal(err)
+		}
+		if len(res.Report.Bugs()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *printTree {
+		fmt.Println("# failure point tree")
+		fmt.Print(res.Tree.String())
+		fmt.Println()
+	}
+	fmt.Print(res.Report.Format(*warnings))
+	fmt.Printf("\nfailure points: %d (tree nodes %d) | injections: %d | trace records: %d\n",
+		res.Tree.Len(), res.Tree.Nodes(), res.Injections, res.TraceLen)
+	fmt.Printf("time: %s total (instrument %s, inject %s, trace analysis %s)\n",
+		res.Elapsed.Round(time.Millisecond), res.InstrumentTime.Round(time.Millisecond),
+		res.InjectTime.Round(time.Millisecond), res.AnalysisTime.Round(time.Millisecond))
+	if res.TimedOut {
+		fmt.Println("analysis budget expired before completion")
+	}
+	if len(res.Report.Bugs()) > 0 {
+		os.Exit(1) // CI-pipeline friendly: bugs fail the build
+	}
+}
+
+// saveArtifacts serialises the pipeline by-products: the failure point
+// tree (step 5 of Fig 1). Program counters are process-local, so the
+// artifacts document one analysis rather than seeding another process.
+func saveArtifacts(dir string, res *core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "failure-point-tree.gob"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.Tree.Encode(f)
+}
+
+func parseVersion(s string) (pmdk.Version, error) {
+	switch s {
+	case "1.6":
+		return pmdk.V16, nil
+	case "1.8":
+		return pmdk.V18, nil
+	case "1.12", "1.12.0":
+		return pmdk.V112, nil
+	}
+	return 0, fmt.Errorf("unknown PMDK version %q (want 1.6, 1.8 or 1.12)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mumak:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,39 @@
+// Command newbugs reproduces the four previously unknown bugs of §6.4:
+// the two Montage allocator bugs (confirmed and fixed upstream) and the
+// two PMDK 1.12 bugs — the high-priority pmemobj_tx_commit undo-log
+// growth bug (pmem/pmdk#5461) and the libart insert bug
+// (pmem/pmdk#5512).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	_ "mumak/internal/apps/art"
+	_ "mumak/internal/apps/btree"
+	_ "mumak/internal/apps/montageht"
+	"mumak/internal/experiments"
+)
+
+func main() {
+	var (
+		ops    = flag.Int("ops", 4000, "workload size; the PMDK 5461 bug needs a large transaction to trigger")
+		budget = flag.Duration("budget", 2*time.Minute, "per-target analysis budget")
+		seed   = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	sc := experiments.Scale{Ops: *ops, Budget: *budget, Seed: *seed}
+	runs, err := experiments.NewBugs(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "newbugs:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderNewBugs(runs))
+	for _, r := range runs {
+		if !r.Found {
+			os.Exit(1)
+		}
+	}
+}

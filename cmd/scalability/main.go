@@ -1,0 +1,34 @@
+// Command scalability runs experiment E3 (claim C3): Mumak's analysis
+// time against codebase size for the large targets — pmemkv's cmap and
+// stree, Montage's hashtables, PM-Redis and PM-RocksDB — reproducing
+// Fig 5: analysis time is not proportional to code size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	_ "mumak/internal/apps/montageht"
+	_ "mumak/internal/apps/pmemkv"
+	_ "mumak/internal/apps/redis"
+	_ "mumak/internal/apps/rocksdb"
+	"mumak/internal/experiments"
+)
+
+func main() {
+	var (
+		ops    = flag.Int("ops", 15000, "workload size (the paper uses 150000)")
+		budget = flag.Duration("budget", 5*time.Minute, "per-target analysis budget")
+		seed   = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	sc := experiments.Scale{Ops: *ops, Budget: *budget, Seed: *seed}
+	runs, err := experiments.Fig5(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalability:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderFig5(runs))
+}

@@ -1,0 +1,3 @@
+module mumak
+
+go 1.22

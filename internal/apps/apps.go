@@ -1,0 +1,76 @@
+// Package apps registers the PM applications under test.
+//
+// The targets mirror the paper's evaluation subjects: the PMDK
+// libpmemobj example data stores (btree, rbtree, hashmap_atomic), the
+// Witcher coverage targets (Level Hashing, CCEH, FAST&FAIR, WORT, ART as
+// the RECIPE member, PM-Redis), the scalability targets (pmemkv cmap and
+// stree, Montage hashtables, PM-RocksDB), each re-implemented from
+// scratch against the pmem engine with its own persistence protocol and
+// recovery procedure.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+)
+
+// Config parameterises application construction.
+type Config struct {
+	// Ver selects the PMDK library version for PMDK-based targets.
+	Ver pmdk.Version
+	// SPT selects "single put per transaction" mode for the
+	// transactional targets (§6.1); the default wraps all puts of a
+	// run in one transaction, as the original examples do.
+	SPT bool
+	// Bugs selects the seeded defects to plant.
+	Bugs bugs.Set
+	// WithRecovery enables the full recovery procedure for targets
+	// that ship without one (the Level Hashing story of §6.2).
+	// Most targets ignore it and always recover fully.
+	WithRecovery bool
+	// MontageBuggy enables both historical Montage bugs (§6.4) in the
+	// Montage-based targets; the two fields below select them
+	// individually.
+	MontageBuggy      bool
+	MontageBuggyAlloc bool
+	MontageBuggyClose bool
+	// PoolSize overrides the target's default pool size when non-zero.
+	PoolSize int
+}
+
+// Factory constructs an application instance.
+type Factory func(Config) harness.Application
+
+var registry = map[string]Factory{}
+
+// Register adds a factory under a unique name; it panics on duplicates
+// and is called from the app packages' init functions via Must.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("apps: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Names lists the registered applications, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New constructs the named application.
+func New(name string, cfg Config) (harness.Application, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+	}
+	return f(cfg), nil
+}

@@ -1,0 +1,601 @@
+// Package art reimplements a persistent Adaptive Radix Tree in the style
+// of PMDK's libart example and the RECIPE P-ART index. Nodes adapt their
+// fanout (Node4 → Node16 → Node256) as children accumulate; leaves are
+// tag-bit pointers holding the full key and value.
+//
+// Under pmdk.V112 the package reproduces the second crash-consistency
+// bug Mumak found in PMDK 1.12 (pmem/pmdk#5512): the insert path
+// persists a node's child count before the entry it covers, so a fault
+// injected during the commit of an insert leaves a node whose count
+// exceeds its live children — the state on which post-crash insertion
+// fails its "too many children" assertion. Recovery validation rejects
+// exactly that state.
+//
+// Bug knobs: art/grow-fused-fence, art/prefix-fused-fence and
+// art/leaf-fused-fence (hidden from program-order prefixes), and
+// art/pf-01..pf-15 (trace analysis).
+package art
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/perfbug"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Seeded bug identifiers (all hidden from program-order prefixes).
+const (
+	// BugGrowFusedFence fuses grown-node population and the parent
+	// pointer swap under one fence.
+	BugGrowFusedFence bugs.ID = "art/grow-fused-fence"
+	// BugPrefixFusedFence fuses a collision chain and its publication
+	// under one fence.
+	BugPrefixFusedFence bugs.ID = "art/prefix-fused-fence"
+	// BugLeafFusedFence fuses leaf initialisation and slot publication
+	// under one fence.
+	BugLeafFusedFence bugs.ID = "art/leaf-fused-fence"
+)
+
+const (
+	kind4   = 4
+	kind16  = 16
+	kind256 = 256
+
+	nodeKind  = 0x00 // u64
+	nodeCount = 0x08 // u64
+	nodeKeyBs = 0x10 // 16 key bytes (Node4/Node16)
+	nodeKids  = 0x20 // children: 16*8 (Node4/16) or 256*8 (Node256)
+
+	smallSize = nodeKids + 16*8
+	bigSize   = nodeKids + 256*8
+
+	leafKey  = 0x00
+	leafVal  = 0x08
+	leafSize = 0x10
+	leafTag  = 1
+
+	keyBytes = 8
+
+	rootNode  = 0x00
+	rootCount = 0x08
+	rootStats = 0x40 // own cache line: never flushed by design
+	rootSize  = 0x80
+)
+
+// App is the ART store.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("art", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string { return "art" }
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	t := &tree{p: p, cfg: a.cfg}
+	n, err := t.newNode(kind4)
+	if err != nil {
+		return err
+	}
+	e.Store64(p.Root()+rootNode, n)
+	e.Store64(p.Root()+rootCount, 0)
+	p.Persist(p.Root(), 16)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &tree{p: p, cfg: a.cfg}, nil
+}
+
+// Run implements harness.Application.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application.
+func (a *App) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	t := &tree{p: p, cfg: a.cfg}
+	return t.validate()
+}
+
+type tree struct {
+	p   *pmdk.Pool
+	cfg apps.Config
+}
+
+func (t *tree) e() *pmem.Engine { return t.p.Engine() }
+func (t *tree) root() uint64    { return t.p.Root() }
+
+func keyByte(key uint64, depth int) uint64 {
+	return (key >> (56 - 8*depth)) & 0xff
+}
+
+func isLeaf(ptr uint64) bool    { return ptr&leafTag != 0 }
+func leafOff(ptr uint64) uint64 { return ptr &^ uint64(leafTag) }
+
+func capacityOf(kind uint64) int {
+	switch kind {
+	case kind4:
+		return 4
+	case kind16:
+		return 16
+	default:
+		return 256
+	}
+}
+
+func sizeOf(kind uint64) int {
+	if kind == kind256 {
+		return bigSize
+	}
+	return smallSize
+}
+
+func (t *tree) newNode(kind uint64) (uint64, error) {
+	off, err := t.p.AllocZeroed(sizeOf(kind))
+	if err != nil {
+		return 0, err
+	}
+	t.e().Store64(off+nodeKind, kind)
+	t.p.Persist(off, sizeOf(kind))
+	return off, nil
+}
+
+func (t *tree) kind(n uint64) uint64  { return t.e().Load64(n + nodeKind) }
+func (t *tree) count(n uint64) uint64 { return t.e().Load64(n + nodeCount) }
+
+func (t *tree) keyB(n uint64, i int) uint64 {
+	word := t.e().Load64(n + nodeKeyBs + uint64(i/8)*8)
+	return (word >> (8 * uint(i%8))) & 0xff
+}
+
+func (t *tree) setKeyB(n uint64, i int, b uint64) {
+	addr := n + nodeKeyBs + uint64(i/8)*8
+	word := t.e().Load64(addr)
+	shift := 8 * uint(i%8)
+	word = (word &^ (0xff << shift)) | (b << shift)
+	t.e().Store64(addr, word)
+}
+
+func (t *tree) child(n uint64, i int) uint64 { return t.e().Load64(n + nodeKids + 8*uint64(i)) }
+func (t *tree) setChild(n uint64, i int, v uint64) {
+	t.e().Store64(n+nodeKids+8*uint64(i), v)
+}
+
+// findChild returns the slot address of the child for byte b, or 0.
+func (t *tree) findChild(n uint64, b uint64) uint64 {
+	if t.kind(n) == kind256 {
+		addr := n + nodeKids + 8*b
+		if t.e().Load64(addr) != 0 {
+			return addr
+		}
+		return 0
+	}
+	cnt := int(t.count(n))
+	for i := 0; i < cnt && i < 16; i++ {
+		if t.keyB(n, i) == b {
+			return n + nodeKids + 8*uint64(i)
+		}
+	}
+	return 0
+}
+
+// Get implements harness.KV.
+func (t *tree) Get(key uint64) (uint64, bool, error) {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "art", 6, 10, 0, t.root()+rootStats)
+	e := t.e()
+	n := e.Load64(t.root() + rootNode)
+	for depth := 0; depth < keyBytes; depth++ {
+		slot := t.findChild(n, keyByte(key, depth))
+		if slot == 0 {
+			return 0, false, nil
+		}
+		ptr := e.Load64(slot)
+		if isLeaf(ptr) {
+			off := leafOff(ptr)
+			if e.Load64(off+leafKey) == key {
+				return e.Load64(off + leafVal), true, nil
+			}
+			return 0, false, nil
+		}
+		n = ptr
+	}
+	return 0, false, nil
+}
+
+// addEntry appends (b -> ptr) to a non-full Node4/Node16, or installs it
+// directly for Node256. parentSlot is the slot pointing at n, used when
+// the node must grow first.
+func (t *tree) addEntry(n uint64, parentSlot uint64, b uint64, ptr uint64) error {
+	e := t.e()
+	kind := t.kind(n)
+	if kind == kind256 {
+		e.Store64(n+nodeKids+8*b, ptr)
+		t.p.Persist(n+nodeKids+8*b, 8)
+		e.Store64(n+nodeCount, t.count(n)+1)
+		t.p.Persist(n+nodeCount, 8)
+		return nil
+	}
+	cnt := int(t.count(n))
+	if cnt > capacityOf(kind) {
+		// The assertion the PMDK 1.12 ART bug trips post-crash: a node
+		// claims more children than its kind can hold.
+		panic(fmt.Sprintf("art: node 0x%x has %d children, capacity %d", n, cnt, capacityOf(kind)))
+	}
+	if cnt == capacityOf(kind) {
+		grown, err := t.grow(n, parentSlot)
+		if err != nil {
+			return err
+		}
+		return t.addEntry(grown, parentSlot, b, ptr)
+	}
+	if t.cfg.Ver == pmdk.V112 {
+		// BUG (pmem/pmdk#5512 analogue): the count is persisted before
+		// the entry it covers; a crash in between leaves a node whose
+		// count exceeds its live children.
+		e.Store64(n+nodeCount, uint64(cnt+1))
+		t.p.Persist(n+nodeCount, 8)
+		t.setChild(n, cnt, ptr)
+		t.setKeyB(n, cnt, b)
+		t.p.PersistDirty(n+nodeKeyBs, int(nodeKids-nodeKeyBs)+8*(cnt+1))
+		return nil
+	}
+	// Correct order: entry first, count (the visibility gate) last. One
+	// persist covers the key byte and the child slot.
+	t.setChild(n, cnt, ptr)
+	t.setKeyB(n, cnt, b)
+	t.p.PersistDirty(n+nodeKeyBs, int(nodeKids-nodeKeyBs)+8*(cnt+1))
+	e.Store64(n+nodeCount, uint64(cnt+1))
+	t.p.Persist(n+nodeCount, 8)
+	return nil
+}
+
+// grow replaces n with the next-larger node kind, swapping parentSlot
+// atomically.
+func (t *tree) grow(n uint64, parentSlot uint64) (uint64, error) {
+	e := t.e()
+	oldKind := t.kind(n)
+	newKind := uint64(kind16)
+	if oldKind == kind16 {
+		newKind = kind256
+	}
+	bigger, err := t.p.AllocZeroed(sizeOf(newKind))
+	if err != nil {
+		return 0, err
+	}
+	e.Store64(bigger+nodeKind, newKind)
+	cnt := int(t.count(n))
+	for i := 0; i < cnt; i++ {
+		b := t.keyB(n, i)
+		c := t.child(n, i)
+		if newKind == kind256 {
+			e.Store64(bigger+nodeKids+8*b, c)
+		} else {
+			t.setKeyB(bigger, i, b)
+			t.setChild(bigger, i, c)
+		}
+	}
+	e.Store64(bigger+nodeCount, uint64(cnt))
+	if t.cfg.Bugs.Has(BugGrowFusedFence) {
+		// BUG (hidden from prefixes): population and the parent swap
+		// share one fence.
+		t.p.FlushDirty(bigger, sizeOf(newKind))
+		e.Store64(parentSlot, bigger)
+		t.p.Flush(parentSlot, 8)
+		t.p.Drain()
+	} else {
+		t.p.PersistDirty(bigger, sizeOf(newKind))
+		e.Store64(parentSlot, bigger)
+		t.p.Persist(parentSlot, 8)
+	}
+	return bigger, nil
+}
+
+// Put implements harness.KV.
+func (t *tree) Put(key, val uint64) error {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "art", 1, 5, 0, t.root()+rootStats)
+	e := t.e()
+	parentSlot := t.root() + rootNode
+	n := e.Load64(parentSlot)
+	for depth := 0; depth < keyBytes; depth++ {
+		b := keyByte(key, depth)
+		slot := t.findChild(n, b)
+		if slot == 0 {
+			fused := t.cfg.Bugs.Has(BugLeafFusedFence)
+			leaf, err := t.newLeaf(key, val, !fused)
+			if err != nil {
+				return err
+			}
+			if err := t.addEntry(n, parentSlot, b, leaf|leafTag); err != nil {
+				return err
+			}
+			if fused {
+				// BUG (hidden from prefixes): the leaf flush shares
+				// the entry's fence.
+				t.p.Drain()
+			}
+			return t.bumpCount(1)
+		}
+		ptr := e.Load64(slot)
+		if isLeaf(ptr) {
+			off := leafOff(ptr)
+			if e.Load64(off+leafKey) == key {
+				e.Store64(off+leafVal, val)
+				t.p.Persist(off+leafVal, 8)
+				return nil
+			}
+			if err := t.splitLeaf(slot, off, depth+1, key, val); err != nil {
+				return err
+			}
+			return t.bumpCount(1)
+		}
+		parentSlot = slot
+		n = ptr
+	}
+	return fmt.Errorf("art: key %d exhausted all bytes", key)
+}
+
+func (t *tree) newLeaf(key, val uint64, persist bool) (uint64, error) {
+	off, err := t.p.AllocZeroed(leafSize)
+	if err != nil {
+		return 0, err
+	}
+	t.e().Store64(off+leafKey, key)
+	t.e().Store64(off+leafVal, val)
+	if persist {
+		t.p.Persist(off, leafSize)
+	} else {
+		t.p.Flush(off, leafSize)
+	}
+	return off, nil
+}
+
+// splitLeaf replaces the leaf at slot with a Node4 chain distinguishing
+// the old key from the new one.
+func (t *tree) splitLeaf(slot, oldOff uint64, depth int, key, val uint64) error {
+	e := t.e()
+	oldKey := e.Load64(oldOff + leafKey)
+	fused := t.cfg.Bugs.Has(BugPrefixFusedFence)
+
+	top, err := t.p.AllocZeroed(smallSize)
+	if err != nil {
+		return err
+	}
+	e.Store64(top+nodeKind, kind4)
+	cur := top
+	d := depth
+	for d < keyBytes && keyByte(oldKey, d) == keyByte(key, d) {
+		next, err := t.p.AllocZeroed(smallSize)
+		if err != nil {
+			return err
+		}
+		e.Store64(next+nodeKind, kind4)
+		t.setKeyB(cur, 0, keyByte(key, d))
+		t.setChild(cur, 0, next)
+		e.Store64(cur+nodeCount, 1)
+		t.p.FlushDirty(cur, smallSize)
+		cur = next
+		d++
+	}
+	if d == keyBytes {
+		return fmt.Errorf("art: duplicate key %d in split", key)
+	}
+	newLeaf, err := t.newLeaf(key, val, false)
+	if err != nil {
+		return err
+	}
+	t.setKeyB(cur, 0, keyByte(oldKey, d))
+	t.setChild(cur, 0, oldOff|leafTag)
+	t.setKeyB(cur, 1, keyByte(key, d))
+	t.setChild(cur, 1, newLeaf|leafTag)
+	e.Store64(cur+nodeCount, 2)
+	t.p.FlushDirty(cur, smallSize)
+	if !fused {
+		t.p.Drain()
+	}
+	e.Store64(slot, top)
+	if fused {
+		// BUG (hidden from prefixes): the chain and its publication
+		// share one fence.
+		t.p.Flush(slot, 8)
+		t.p.Drain()
+	} else {
+		t.p.Persist(slot, 8)
+	}
+	return nil
+}
+
+func (t *tree) bumpCount(delta int64) error {
+	cnt := t.root() + rootCount
+	t.e().Store64(cnt, t.e().Load64(cnt)+uint64(delta))
+	t.p.Persist(cnt, 8)
+	return nil
+}
+
+// Delete implements harness.KV. Node4/16 entries are removed by moving
+// the last entry into the vacated slot (entry first, count last);
+// Node256 clears the child directly.
+func (t *tree) Delete(key uint64) error {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "art", 11, 15, 0, t.root()+rootStats)
+	e := t.e()
+	n := e.Load64(t.root() + rootNode)
+	for depth := 0; depth < keyBytes; depth++ {
+		b := keyByte(key, depth)
+		slot := t.findChild(n, b)
+		if slot == 0 {
+			return nil
+		}
+		ptr := e.Load64(slot)
+		if !isLeaf(ptr) {
+			n = ptr
+			continue
+		}
+		if e.Load64(leafOff(ptr)+leafKey) != key {
+			return nil
+		}
+		if err := t.bumpCount(-1); err != nil {
+			return err
+		}
+		if t.kind(n) == kind256 {
+			e.Store64(slot, 0)
+			t.p.Persist(slot, 8)
+			return nil
+		}
+		// Move the last entry into the vacated index, then shrink the
+		// count: both visible states are valid.
+		idx := int((slot - (n + nodeKids)) / 8)
+		lastIdx := int(t.count(n)) - 1
+		if idx != lastIdx {
+			t.setChild(n, idx, t.child(n, lastIdx))
+			t.setKeyB(n, idx, t.keyB(n, lastIdx))
+			t.p.Persist(n+nodeKids+8*uint64(idx), 8)
+			t.p.Persist(n+nodeKeyBs, 16)
+		}
+		e.Store64(n+nodeCount, uint64(lastIdx))
+		t.p.Persist(n+nodeCount, 8)
+		return nil
+	}
+	return nil
+}
+
+// validate is the recovery consistency check: node kinds and counts are
+// sane (a count exceeding the node capacity or covering a null child is
+// exactly the pmem/pmdk#5512 state), key bytes within a node are unique,
+// leaves sit on paths spelling their keys, and the reachable-leaf count
+// reconciles with the persisted counter.
+func (t *tree) validate() error {
+	e := t.e()
+	n := e.Load64(t.root() + rootNode)
+	count := e.Load64(t.root() + rootCount)
+	if n == 0 {
+		if count != 0 {
+			return fmt.Errorf("art: no root node but count=%d", count)
+		}
+		return nil
+	}
+	size := uint64(e.Size())
+	var leaves uint64
+	var walk func(n uint64, depth int, prefix uint64) error
+	walk = func(n uint64, depth int, prefix uint64) error {
+		if depth >= keyBytes {
+			return fmt.Errorf("art: node chain deeper than the key length")
+		}
+		if n%16 != 0 || n+uint64(smallSize) > size {
+			return fmt.Errorf("art: node 0x%x out of bounds", n)
+		}
+		kind := t.kind(n)
+		if kind != kind4 && kind != kind16 && kind != kind256 {
+			return fmt.Errorf("art: node 0x%x has invalid kind %d", n, kind)
+		}
+		cnt := int(t.count(n))
+		if cnt > capacityOf(kind) {
+			return fmt.Errorf("art: node 0x%x claims %d children, capacity %d (pmdk#5512 state)",
+				n, cnt, capacityOf(kind))
+		}
+		visit := func(b uint64, ptr uint64) error {
+			if ptr == 0 {
+				return fmt.Errorf("art: node 0x%x counts a null child (pmdk#5512 state)", n)
+			}
+			if isLeaf(ptr) {
+				off := leafOff(ptr)
+				if off+leafSize > size {
+					return fmt.Errorf("art: leaf 0x%x out of bounds", off)
+				}
+				k := e.Load64(off + leafKey)
+				wantPrefix := (prefix << 8) | b
+				if k>>(56-8*depth) != wantPrefix {
+					return fmt.Errorf("art: leaf key %d under wrong path at depth %d", k, depth)
+				}
+				leaves++
+				return nil
+			}
+			return walk(ptr, depth+1, (prefix<<8)|b)
+		}
+		if kind == kind256 {
+			for b := uint64(0); b < 256; b++ {
+				ptr := t.child(n, int(b))
+				if ptr == 0 {
+					continue
+				}
+				if err := visit(b, ptr); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		seen := map[uint64]uint64{}
+		for i := 0; i < cnt; i++ {
+			b := t.keyB(n, i)
+			c := t.child(n, i)
+			if prev, dup := seen[b]; dup {
+				if prev == c {
+					// The interrupted-delete window: the last entry
+					// was moved into the vacated slot but the count
+					// has not shrunk yet. Both slots alias one child;
+					// count it once.
+					continue
+				}
+				return fmt.Errorf("art: node 0x%x has duplicate key byte %d with diverging children", n, b)
+			}
+			seen[b] = c
+			if err := visit(b, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n, 0, 0); err != nil {
+		return err
+	}
+	switch {
+	case leaves == count:
+		return nil
+	case leaves == count+1:
+		e.Store64(t.root()+rootCount, leaves)
+		t.p.Persist(t.root()+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("art: count=%d but %d leaves reachable", count, leaves)
+	}
+}
+
+var _ harness.KVApplication = (*App)(nil)

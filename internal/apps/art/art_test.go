@@ -1,0 +1,69 @@
+package art_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/art"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 8 << 20} }
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return art.New(cfg) }
+}
+
+func smallWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 250, Seed: seed, Keyspace: 100})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, art.New(cfgBase()), smallWorkload(1))
+}
+
+func TestSemanticsWithNodeGrowth(t *testing.T) {
+	// Dense small keys share high bytes, forcing Node4 -> Node16 ->
+	// Node256 growth in the low levels.
+	w := workload.Generate(workload.Config{N: 6000, Seed: 2, Keyspace: 3000})
+	cfg := cfgBase()
+	cfg.PoolSize = 64 << 20
+	apptest.KVSemantics(t, art.New(cfg), w)
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(cfgBase()), smallWorkload(3), 0)
+}
+
+func TestFusedFenceBugsHiddenFromPrefix(t *testing.T) {
+	for _, id := range []bugs.ID{
+		art.BugGrowFusedFence,
+		art.BugPrefixFusedFence,
+		art.BugLeafFusedFence,
+	} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(id)
+			apptest.HiddenFromPrefix(t, mk(cfg), smallWorkload(4), 0)
+		})
+	}
+}
+
+func TestV112InsertCountBugExposed(t *testing.T) {
+	// The pmem/pmdk#5512 analogue: on V112 some injected crash leaves a
+	// node whose count covers a null child; recovery must reject it.
+	cfg := cfgBase()
+	cfg.Ver = pmdk.V112
+	apptest.ExposesBug(t, mk(cfg), smallWorkload(5), 0)
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable("art/pf-01", "art/pf-02", "art/pf-03")
+	apptest.CrashConsistent(t, mk(cfg), smallWorkload(7), 0)
+}

@@ -1,0 +1,551 @@
+// Package btree reimplements PMDK's libpmemobj btree example data store:
+// a persistent B-tree of order 8 whose mutations run inside undo-log
+// transactions. It is one of the three primary performance-benchmark
+// targets (§6.1).
+//
+// Bug knobs (see internal/bugs): three seeded correctness defects
+// detectable by fault injection, and ten numbered performance defects (btree/pf-01..pf-10)
+// detectable by trace analysis.
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/perfbug"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Seeded bug identifiers.
+const (
+	// BugSplitMissingAddRange omits the undo-log registration of the
+	// parent's child-shift during a node split: an injected crash
+	// rolls the transaction back but leaves the parent half-updated.
+	BugSplitMissingAddRange bugs.ID = "btree/split-missing-addrange"
+	// BugRootPublishOutsideTx publishes the new root pointer with a
+	// direct persisted store before the split transaction commits.
+	BugRootPublishOutsideTx bugs.ID = "btree/root-publish-outside-tx"
+	// BugCountOutsideTx maintains the element count with a
+	// non-transactional persisted store.
+	BugCountOutsideTx bugs.ID = "btree/count-outside-tx"
+)
+
+const (
+	order   = 8 // children per node
+	maxKeys = order - 1
+
+	// Node layout.
+	nodeN        = 0x00 // u64 number of keys
+	nodeLeaf     = 0x08 // u64 1 when leaf
+	nodeKeys     = 0x10 // 7 * u64
+	nodeVals     = 0x48 // 7 * u64
+	nodeChildren = 0x80 // 8 * u64
+	nodeSize     = 0xC0
+
+	// Root object layout.
+	rootTree  = 0x00 // u64 offset of the root node (0 = empty tree)
+	rootCount = 0x08 // u64 number of keys in the tree
+	rootStats = 0x40 // transient-data scratch, on its own never-flushed line
+	rootSize  = 0x80
+)
+
+// App is the btree data store.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("btree", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string {
+	if a.cfg.SPT {
+		return "btree-spt"
+	}
+	return "btree"
+}
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	e.Store64(p.Root()+rootTree, 0)
+	e.Store64(p.Root()+rootCount, 0)
+	p.Persist(p.Root(), 16)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &tree{p: p, cfg: a.cfg}, nil
+}
+
+// Run implements harness.Application. In SPT mode every put and delete
+// runs in its own transaction; otherwise one transaction wraps the whole
+// batch, as the original example does.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	t := kv.(*tree)
+	if !a.cfg.SPT {
+		tx, err := t.p.Begin()
+		if err != nil {
+			return err
+		}
+		t.batch = tx
+		defer func() { t.batch = nil }()
+		if err := harness.RunKV(t, w); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	return harness.RunKV(t, w)
+}
+
+// Recover implements harness.Application: open the pool (replaying any
+// interrupted transaction) and validate the whole structure.
+func (a *App) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil // interrupted creation: start fresh
+	}
+	if err != nil {
+		return err
+	}
+	t := &tree{p: p, cfg: a.cfg}
+	return t.validate()
+}
+
+// tree is a live handle.
+type tree struct {
+	p     *pmdk.Pool
+	cfg   apps.Config
+	batch *pmdk.Tx
+}
+
+func (t *tree) e() *pmem.Engine { return t.p.Engine() }
+func (t *tree) root() uint64    { return t.p.Root() }
+
+// update runs f inside the ambient batch transaction or a fresh one.
+func (t *tree) update(f func(tx *pmdk.Tx) error) error {
+	if t.batch != nil {
+		return f(t.batch)
+	}
+	tx, err := t.p.Begin()
+	if err != nil {
+		return err
+	}
+	if err := f(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Node field helpers.
+
+func (t *tree) n(off uint64) uint64          { return t.e().Load64(off + nodeN) }
+func (t *tree) isLeaf(off uint64) bool       { return t.e().Load64(off+nodeLeaf) == 1 }
+func (t *tree) key(off uint64, i int) uint64 { return t.e().Load64(off + nodeKeys + 8*uint64(i)) }
+func (t *tree) val(off uint64, i int) uint64 { return t.e().Load64(off + nodeVals + 8*uint64(i)) }
+func (t *tree) child(off uint64, i int) uint64 {
+	return t.e().Load64(off + nodeChildren + 8*uint64(i))
+}
+
+func (t *tree) setN(off, v uint64) { t.e().Store64(off+nodeN, v) }
+func (t *tree) setKey(off uint64, i int, v uint64) {
+	t.e().Store64(off+nodeKeys+8*uint64(i), v)
+}
+func (t *tree) setVal(off uint64, i int, v uint64) {
+	t.e().Store64(off+nodeVals+8*uint64(i), v)
+}
+func (t *tree) setChild(off uint64, i int, v uint64) {
+	t.e().Store64(off+nodeChildren+8*uint64(i), v)
+}
+
+func (t *tree) newNode(tx *pmdk.Tx, leaf bool) (uint64, error) {
+	off, err := t.p.AllocZeroed(nodeSize)
+	if err != nil {
+		return 0, err
+	}
+	if err := tx.AddRange(off, nodeSize); err != nil {
+		return 0, err
+	}
+	if leaf {
+		t.e().Store64(off+nodeLeaf, 1)
+	}
+	return off, nil
+}
+
+// Get implements harness.KV.
+func (t *tree) Get(key uint64) (uint64, bool, error) {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "btree", 4, 6, 0, t.root()+rootStats)
+	off := t.e().Load64(t.root() + rootTree)
+	for off != 0 {
+		n := int(t.n(off))
+		i := 0
+		for i < n && t.key(off, i) < key {
+			i++
+		}
+		if i < n && t.key(off, i) == key {
+			return t.val(off, i), true, nil
+		}
+		if t.isLeaf(off) {
+			return 0, false, nil
+		}
+		off = t.child(off, i)
+	}
+	return 0, false, nil
+}
+
+// Put implements harness.KV.
+func (t *tree) Put(key, val uint64) error {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "btree", 1, 3, 0, t.root()+rootStats)
+	return t.update(func(tx *pmdk.Tx) error {
+		rootOff := t.e().Load64(t.root() + rootTree)
+		if rootOff == 0 {
+			leaf, err := t.newNode(tx, true)
+			if err != nil {
+				return err
+			}
+			t.setKey(leaf, 0, key)
+			t.setVal(leaf, 0, val)
+			t.setN(leaf, 1)
+			if err := tx.Store64(t.root()+rootTree, leaf); err != nil {
+				return err
+			}
+			return t.bumpCount(tx, 1)
+		}
+		if t.n(rootOff) == maxKeys {
+			// Split the root: allocate a new root above it.
+			newRoot, err := t.newNode(tx, false)
+			if err != nil {
+				return err
+			}
+			t.setChild(newRoot, 0, rootOff)
+			if t.cfg.Bugs.Has(BugRootPublishOutsideTx) {
+				// BUG: the root pointer is published and persisted
+				// before the split below is part of the committed
+				// state; a crash rolls back the nodes but keeps the
+				// pointer.
+				t.e().Store64(t.root()+rootTree, newRoot)
+				t.p.Persist(t.root()+rootTree, 8)
+			} else if err := tx.Store64(t.root()+rootTree, newRoot); err != nil {
+				return err
+			}
+			if err := t.splitChild(tx, newRoot, 0); err != nil {
+				return err
+			}
+			rootOff = newRoot
+		}
+		inserted, err := t.insertNonFull(tx, rootOff, key, val)
+		if err != nil {
+			return err
+		}
+		if inserted {
+			return t.bumpCount(tx, 1)
+		}
+		return nil
+	})
+}
+
+// bumpCount adjusts the persisted element count by delta (two's
+// complement for decrements).
+func (t *tree) bumpCount(tx *pmdk.Tx, delta uint64) error {
+	addr := t.root() + rootCount
+	cur := t.e().Load64(addr)
+	if t.cfg.Bugs.Has(BugCountOutsideTx) {
+		// BUG: the count is updated with a non-transactional persisted
+		// store; a crash that rolls back the insert keeps the new
+		// count.
+		t.e().Store64(addr, cur+delta)
+		t.p.Persist(addr, 8)
+		return nil
+	}
+	return tx.Store64(addr, cur+delta)
+}
+
+// splitChild splits the full i-th child of node parent.
+func (t *tree) splitChild(tx *pmdk.Tx, parent uint64, i int) error {
+	child := t.child(parent, i)
+	right, err := t.newNode(tx, t.isLeaf(child))
+	if err != nil {
+		return err
+	}
+	const mid = maxKeys / 2
+	// Move the upper half of child into right.
+	for j := 0; j < maxKeys-mid-1; j++ {
+		t.setKey(right, j, t.key(child, mid+1+j))
+		t.setVal(right, j, t.val(child, mid+1+j))
+	}
+	if !t.isLeaf(child) {
+		for j := 0; j < maxKeys-mid; j++ {
+			t.setChild(right, j, t.child(child, mid+1+j))
+		}
+	}
+	t.setN(right, uint64(maxKeys-mid-1))
+
+	if err := tx.AddRange(child, nodeSize); err != nil {
+		return err
+	}
+	midKey, midVal := t.key(child, mid), t.val(child, mid)
+	t.setN(child, uint64(mid))
+
+	if !t.cfg.Bugs.Has(BugSplitMissingAddRange) {
+		if err := tx.AddRange(parent, nodeSize); err != nil {
+			return err
+		}
+	}
+	// BUG (when the knob is set): the shifts below are not undo-logged
+	// (the developer persists the parent directly instead, see the end
+	// of this function), so a rollback leaves the parent half-updated.
+	pn := int(t.n(parent))
+	for j := pn; j > i; j-- {
+		t.setKey(parent, j, t.key(parent, j-1))
+		t.setVal(parent, j, t.val(parent, j-1))
+	}
+	for j := pn + 1; j > i+1; j-- {
+		t.setChild(parent, j, t.child(parent, j-1))
+	}
+	t.setKey(parent, i, midKey)
+	t.setVal(parent, i, midVal)
+	t.setChild(parent, i+1, right)
+	t.setN(parent, uint64(pn+1))
+	if t.cfg.Bugs.Has(BugSplitMissingAddRange) {
+		// BUG: pmem_persist where tx_add_range was needed — the
+		// persist itself is a failure point inside the window where
+		// the rest of the split can still roll back.
+		t.p.Persist(parent, nodeSize)
+	}
+	perfbug.Apply(t.e(), t.cfg.Bugs, perfbug.NumberedID("btree", 10), 0, t.root()+rootStats)
+	return nil
+}
+
+// insertNonFull inserts into the subtree rooted at off, which must not
+// be full, descending recursively (so deeper updates have deeper call
+// stacks — distinct code paths for the failure point tree). Returns
+// whether a new key was added (false on overwrite).
+func (t *tree) insertNonFull(tx *pmdk.Tx, off, key, val uint64) (bool, error) {
+	n := int(t.n(off))
+	i := 0
+	for i < n && t.key(off, i) < key {
+		i++
+	}
+	if i < n && t.key(off, i) == key {
+		// Overwrite in place.
+		if err := tx.Store64(off+nodeVals+8*uint64(i), val); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	if t.isLeaf(off) {
+		if err := tx.AddRange(off, nodeSize); err != nil {
+			return false, err
+		}
+		for j := n; j > i; j-- {
+			t.setKey(off, j, t.key(off, j-1))
+			t.setVal(off, j, t.val(off, j-1))
+		}
+		t.setKey(off, i, key)
+		t.setVal(off, i, val)
+		t.setN(off, uint64(n+1))
+		return true, nil
+	}
+	childOff := t.child(off, i)
+	if t.n(childOff) == maxKeys {
+		if err := t.splitChild(tx, off, i); err != nil {
+			return false, err
+		}
+		if key == t.key(off, i) {
+			if err := tx.Store64(off+nodeVals+8*uint64(i), val); err != nil {
+				return false, err
+			}
+			return false, nil
+		}
+		if key > t.key(off, i) {
+			childOff = t.child(off, i+1)
+		} else {
+			childOff = t.child(off, i)
+		}
+	}
+	return t.insertNonFull(tx, childOff, key, val)
+}
+
+// Delete implements harness.KV. Underflowed nodes are tolerated (no
+// rebalancing), as in several PM B-tree implementations; internal keys
+// are replaced by their successor from the leaf level.
+func (t *tree) Delete(key uint64) error {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "btree", 7, 9, 0, t.root()+rootStats)
+	return t.update(func(tx *pmdk.Tx) error {
+		removed, err := t.deleteFrom(tx, t.e().Load64(t.root()+rootTree), key)
+		if err != nil {
+			return err
+		}
+		if removed {
+			addr := t.root() + rootCount
+			cur := t.e().Load64(addr)
+			if t.cfg.Bugs.Has(BugCountOutsideTx) {
+				t.e().Store64(addr, cur-1)
+				t.p.Persist(addr, 8)
+				return nil
+			}
+			return tx.Store64(addr, cur-1)
+		}
+		return nil
+	})
+}
+
+func (t *tree) deleteFrom(tx *pmdk.Tx, off, key uint64) (bool, error) {
+	if off == 0 {
+		return false, nil
+	}
+	n := int(t.n(off))
+	i := 0
+	for i < n && t.key(off, i) < key {
+		i++
+	}
+	if i < n && t.key(off, i) == key {
+		if t.isLeaf(off) {
+			return true, t.removeAt(tx, off, i)
+		}
+		// Replace with the successor (leftmost key of the right
+		// subtree), then delete the successor from its leaf.
+		succ := t.child(off, i+1)
+		for !t.isLeaf(succ) {
+			succ = t.child(succ, 0)
+		}
+		sk, sv := t.key(succ, 0), t.val(succ, 0)
+		if err := tx.AddRange(off+nodeKeys+8*uint64(i), 8); err != nil {
+			return false, err
+		}
+		t.setKey(off, i, sk)
+		if err := tx.Store64(off+nodeVals+8*uint64(i), sv); err != nil {
+			return false, err
+		}
+		if err := t.removeAt(tx, succ, 0); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if t.isLeaf(off) {
+		return false, nil
+	}
+	return t.deleteFrom(tx, t.child(off, i), key)
+}
+
+func (t *tree) removeAt(tx *pmdk.Tx, off uint64, i int) error {
+	if err := tx.AddRange(off, nodeSize); err != nil {
+		return err
+	}
+	n := int(t.n(off))
+	for j := i; j < n-1; j++ {
+		t.setKey(off, j, t.key(off, j+1))
+		t.setVal(off, j, t.val(off, j+1))
+	}
+	t.setN(off, uint64(n-1))
+	return nil
+}
+
+// validate walks the whole tree checking structural invariants and the
+// persisted count; it is the recovery procedure's consistency check.
+func (t *tree) validate() error {
+	rootOff := t.e().Load64(t.root() + rootTree)
+	count := t.e().Load64(t.root() + rootCount)
+	if rootOff == 0 {
+		if count != 0 {
+			return fmt.Errorf("btree: empty tree but count=%d", count)
+		}
+		return nil
+	}
+	var reachable uint64
+	var last *uint64
+	var walk func(off uint64, lo, hi uint64, haveLo, haveHi bool) error
+	walk = func(off, lo, hi uint64, haveLo, haveHi bool) error {
+		if off%16 != 0 || off+nodeSize > uint64(t.e().Size()) {
+			return fmt.Errorf("btree: node offset 0x%x out of bounds", off)
+		}
+		n := int(t.n(off))
+		leaf := t.isLeaf(off)
+		// Leaves may underflow to empty (deletes do not rebalance);
+		// internal nodes never lose keys.
+		minN := 1
+		if leaf {
+			minN = 0
+		}
+		if n < minN || n > maxKeys {
+			return fmt.Errorf("btree: node 0x%x has %d keys", off, n)
+		}
+		for i := 0; i < n; i++ {
+			k := t.key(off, i)
+			if haveLo && k <= lo {
+				return fmt.Errorf("btree: key %d at 0x%x violates lower bound %d", k, off, lo)
+			}
+			if haveHi && k >= hi {
+				return fmt.Errorf("btree: key %d at 0x%x violates upper bound %d", k, off, hi)
+			}
+			if !leaf {
+				childLo, childHaveLo := lo, haveLo
+				if i > 0 {
+					childLo, childHaveLo = t.key(off, i-1), true
+				}
+				if err := walk(t.child(off, i), childLo, k, childHaveLo, true); err != nil {
+					return err
+				}
+			}
+			if last != nil && *last >= k {
+				return fmt.Errorf("btree: in-order violation at key %d", k)
+			}
+			kc := k
+			last = &kc
+			reachable++
+		}
+		if !leaf {
+			childLo := t.key(off, n-1)
+			return walk(t.child(off, n), childLo, hi, true, haveHi)
+		}
+		return nil
+	}
+	if err := walk(rootOff, 0, 0, false, false); err != nil {
+		return err
+	}
+	switch {
+	case reachable == count:
+		return nil
+	case reachable == count+1:
+		// Benign window: an element landed before its count update (or
+		// a count decrement preceded its removal). Repair the count.
+		t.e().Store64(t.root()+rootCount, reachable)
+		t.p.Persist(t.root()+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("btree: count=%d but %d keys reachable (data loss)", count, reachable)
+	}
+}
+
+var _ harness.KVApplication = (*App)(nil)
+
+// ErrUnsupported is reserved for version gating parity with other apps.
+var ErrUnsupported = errors.New("btree: unsupported configuration")

@@ -1,0 +1,91 @@
+package btree_test
+
+import (
+	"testing"
+
+	"mumak/internal/pmem"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/btree"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return btree.New(cfg) }
+}
+
+func smallWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 120, Seed: seed, Keyspace: 40})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, btree.New(apps.Config{SPT: true, PoolSize: 1 << 20}), smallWorkload(1))
+}
+
+func TestKVSemanticsBatchTx(t *testing.T) {
+	// Batch mode keeps one transaction open during the run; semantics
+	// must match regardless.
+	app := btree.New(apps.Config{PoolSize: 1 << 20})
+	w := smallWorkload(6)
+	eng, sig, err := harness.Execute(app, w, pmem.Options{})
+	if err != nil || sig != nil {
+		t.Fatalf("run: err=%v sig=%v", err, sig)
+	}
+	kv, err := app.Open(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[uint64]uint64{}
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case workload.Put:
+			model[op.Key] = op.Val
+		case workload.Delete:
+			delete(model, op.Key)
+		}
+	}
+	for k, v := range model {
+		got, ok, err := kv.Get(k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("get(%d) = (%d,%v,%v), want %d", k, got, ok, err, v)
+		}
+	}
+}
+
+func TestDeepTreeSemantics(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 3000, Seed: 7, Keyspace: 1500})
+	apptest.KVSemantics(t, btree.New(apps.Config{SPT: true, PoolSize: 1 << 20}), w)
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(apps.Config{SPT: true, PoolSize: 1 << 20}), smallWorkload(2), 160)
+}
+
+func TestCrashConsistentBatchMode(t *testing.T) {
+	apptest.CrashConsistent(t, mk(apps.Config{PoolSize: 1 << 20}), smallWorkload(3), 120)
+}
+
+func TestSeededCorrectnessBugsAreExposed(t *testing.T) {
+	for _, id := range []bugs.ID{
+		btree.BugSplitMissingAddRange,
+		btree.BugRootPublishOutsideTx,
+		btree.BugCountOutsideTx,
+	} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			cfg := apps.Config{SPT: true, PoolSize: 1 << 20, Bugs: bugs.Enable(id)}
+			apptest.ExposesBug(t, mk(cfg), smallWorkload(4), 400)
+		})
+	}
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	// Performance defects never create inconsistent states; every
+	// crash point must still recover.
+	cfg := apps.Config{SPT: true, PoolSize: 1 << 20, Bugs: bugs.Enable(
+		"btree/pf-01", "btree/pf-02", "btree/pf-03", "btree/pf-10")}
+	apptest.CrashConsistent(t, mk(cfg), smallWorkload(5), 120)
+}

@@ -1,0 +1,479 @@
+// Package cceh reimplements CCEH (Nam et al., FAST'19): cacheline-
+// conscious extendible hashing for PM. A directory of 2^G entries maps
+// hash prefixes to segments with local depths; full segments split,
+// doubling the directory when the local depth reaches the global depth.
+// Stale slots left in the split source are lazily ignored: an item
+// counts only when the directory entry for its hash prefix points at
+// the segment holding it.
+//
+// Bug knobs: cceh/dir-publish-early and cceh/split-move-order (fault
+// injection), cceh/split-single-fence, cceh/dir-double-fused and
+// cceh/clear-fused-fence (hidden from program-order prefixes), and
+// cceh/pf-01..pf-12 (trace analysis).
+package cceh
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/perfbug"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Seeded bug identifiers.
+const (
+	// BugDirPublishEarly updates directory entries to the new segment
+	// before its contents exist.
+	BugDirPublishEarly bugs.ID = "cceh/dir-publish-early"
+	// BugSplitMoveOrder clears the source slots before the directory
+	// points at the copies.
+	BugSplitMoveOrder bugs.ID = "cceh/split-move-order"
+	// BugSplitSingleFence fuses segment population and directory
+	// publication under one fence (hidden from prefixes).
+	BugSplitSingleFence bugs.ID = "cceh/split-single-fence"
+	// BugDirDoubleFused fuses new-directory contents and the metadata
+	// switch under one fence (hidden from prefixes).
+	BugDirDoubleFused bugs.ID = "cceh/dir-double-fused"
+	// BugClearFusedFence fuses the directory republication and the
+	// stale-slot clearing under one fence (hidden from prefixes).
+	BugClearFusedFence bugs.ID = "cceh/clear-fused-fence"
+)
+
+const (
+	slotsPerSeg = 16
+	probeLen    = 8
+
+	slotTag  = 0x00
+	slotKey  = 0x08
+	slotVal  = 0x10
+	slotSize = 0x18
+
+	segDepth = 0x00 // u64 local depth
+	segSlots = 0x10
+	segSize  = segSlots + slotsPerSeg*slotSize
+
+	rootMeta  = 0x00 // u64: dir offset | global depth (dir is 16-aligned)
+	rootCount = 0x08
+	rootStats = 0x40 // own cache line: never flushed by design
+	rootSize  = 0x80
+	initialG  = 2 // 4 directory entries
+)
+
+// App is the CCEH store.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("cceh", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string { return "cceh" }
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	c := &cceh{p: p, cfg: a.cfg}
+	dir, err := p.AllocZeroed(8 << initialG)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < 1<<initialG; i++ {
+		seg, err := c.newSegment(initialG)
+		if err != nil {
+			return err
+		}
+		e.Store64(dir+8*i, seg)
+	}
+	p.Persist(dir, 8<<initialG)
+	e.Store64(p.Root()+rootCount, 0)
+	p.Persist(p.Root()+rootCount, 8)
+	e.Store64(p.Root()+rootMeta, dir|initialG)
+	p.Persist(p.Root()+rootMeta, 8)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &cceh{p: p, cfg: a.cfg}, nil
+}
+
+// Run implements harness.Application.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application.
+func (a *App) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	c := &cceh{p: p, cfg: a.cfg}
+	return c.validate()
+}
+
+type cceh struct {
+	p   *pmdk.Pool
+	cfg apps.Config
+}
+
+func (c *cceh) e() *pmem.Engine { return c.p.Engine() }
+func (c *cceh) root() uint64    { return c.p.Root() }
+
+func (c *cceh) meta() (dir uint64, g uint) {
+	m := c.e().Load64(c.root() + rootMeta)
+	return m &^ 0xf, uint(m & 0xf)
+}
+
+func hash(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	key *= 0xC4CEB9FE1A85EC53
+	key ^= key >> 33
+	return key
+}
+
+// prefix returns the directory index of key under global depth g.
+func prefix(key uint64, g uint) uint64 { return hash(key) >> (64 - g) }
+
+// homeSlot returns the preferred slot index within a segment.
+func homeSlot(key uint64) uint64 { return hash(key) & (slotsPerSeg - 1) }
+
+func (c *cceh) newSegment(depth uint) (uint64, error) {
+	seg, err := c.p.AllocZeroed(segSize)
+	if err != nil {
+		return 0, err
+	}
+	c.e().Store64(seg+segDepth, uint64(depth))
+	c.p.PersistDirty(seg, segSize)
+	return seg, nil
+}
+
+func (c *cceh) segFor(key uint64) (seg uint64, dir uint64, g uint) {
+	dir, g = c.meta()
+	seg = c.e().Load64(dir + 8*prefix(key, g))
+	return seg, dir, g
+}
+
+// find returns the slot address holding key within seg, or 0.
+func (c *cceh) find(seg, key uint64) uint64 {
+	home := homeSlot(key)
+	for i := uint64(0); i < probeLen; i++ {
+		slot := seg + segSlots + ((home+i)&(slotsPerSeg-1))*slotSize
+		if c.e().Load64(slot+slotTag) == 1 && c.e().Load64(slot+slotKey) == key {
+			return slot
+		}
+	}
+	return 0
+}
+
+// Get implements harness.KV.
+func (c *cceh) Get(key uint64) (uint64, bool, error) {
+	perfbug.ApplyN(c.e(), c.cfg.Bugs, "cceh", 4, 6, 0, c.root()+rootStats)
+	seg, _, _ := c.segFor(key)
+	if slot := c.find(seg, key); slot != 0 {
+		return c.e().Load64(slot + slotVal), true, nil
+	}
+	return 0, false, nil
+}
+
+// Put implements harness.KV.
+func (c *cceh) Put(key, val uint64) error {
+	perfbug.ApplyN(c.e(), c.cfg.Bugs, "cceh", 1, 3, 0, c.root()+rootStats)
+	for {
+		seg, dir, g := c.segFor(key)
+		if slot := c.find(seg, key); slot != 0 {
+			c.e().Store64(slot+slotVal, val)
+			c.p.Persist(slot+slotVal, 8)
+			return nil
+		}
+		home := homeSlot(key)
+		for i := uint64(0); i < probeLen; i++ {
+			slot := seg + segSlots + ((home+i)&(slotsPerSeg-1))*slotSize
+			if c.e().Load64(slot+slotTag) != 0 {
+				continue
+			}
+			// Correct slot-write order: key/value first, tag last,
+			// count after the item exists.
+			c.e().Store64(slot+slotKey, key)
+			c.e().Store64(slot+slotVal, val)
+			c.p.Persist(slot+slotKey, 16)
+			c.e().Store64(slot+slotTag, 1)
+			c.p.Persist(slot+slotTag, 8)
+			cnt := c.root() + rootCount
+			c.e().Store64(cnt, c.e().Load64(cnt)+1)
+			c.p.Persist(cnt, 8)
+			return nil
+		}
+		if err := c.split(seg, dir, g, key); err != nil {
+			return err
+		}
+	}
+}
+
+// Delete implements harness.KV.
+func (c *cceh) Delete(key uint64) error {
+	perfbug.ApplyN(c.e(), c.cfg.Bugs, "cceh", 7, 9, 0, c.root()+rootStats)
+	seg, _, _ := c.segFor(key)
+	slot := c.find(seg, key)
+	if slot == 0 {
+		return nil
+	}
+	cnt := c.root() + rootCount
+	c.e().Store64(cnt, c.e().Load64(cnt)-1)
+	c.p.Persist(cnt, 8)
+	c.e().Store64(slot+slotTag, 0)
+	c.p.Persist(slot+slotTag, 8)
+	return nil
+}
+
+// split divides the segment owning key, doubling the directory first
+// when the local depth has reached the global depth.
+func (c *cceh) split(seg, dir uint64, g uint, key uint64) error {
+	perfbug.ApplyN(c.e(), c.cfg.Bugs, "cceh", 10, 12, 0, c.root()+rootStats)
+	e := c.e()
+	depth := uint(e.Load64(seg + segDepth))
+	if depth == g {
+		var err error
+		dir, g, err = c.doubleDirectory(dir, g)
+		if err != nil {
+			return err
+		}
+	}
+	// New segment receives the items whose next prefix bit is 1.
+	newSeg, err := c.p.AllocZeroed(segSize)
+	if err != nil {
+		return err
+	}
+	e.Store64(newSeg+segDepth, uint64(depth+1))
+
+	publish := func() {
+		// Point the 1-half of the old segment's directory entries at
+		// the new segment.
+		first := ^uint64(0)
+		for i := uint64(0); i < 1<<g; i++ {
+			if e.Load64(dir+8*i) == seg {
+				if first == ^uint64(0) {
+					first = i
+				}
+				// Entries in the upper half of the old segment's
+				// 2^(g-depth) aligned group move.
+				groupSize := uint64(1) << (g - depth)
+				if i-first >= groupSize/2 {
+					e.Store64(dir+8*i, newSeg)
+					c.p.Flush(dir+8*i, 8)
+				}
+			}
+		}
+	}
+	copyItems := func() {
+		for s := uint64(0); s < slotsPerSeg; s++ {
+			slot := seg + segSlots + s*slotSize
+			if e.Load64(slot+slotTag) != 1 {
+				continue
+			}
+			k := e.Load64(slot + slotKey)
+			if (hash(k)>>(64-depth-1))&1 == 0 {
+				continue
+			}
+			home := homeSlot(k)
+			for i := uint64(0); i < probeLen; i++ {
+				dst := newSeg + segSlots + ((home+i)&(slotsPerSeg-1))*slotSize
+				if e.Load64(dst+slotTag) != 0 {
+					continue
+				}
+				e.Store64(dst+slotKey, k)
+				e.Store64(dst+slotVal, e.Load64(slot+slotVal))
+				e.Store64(dst+slotTag, 1)
+				break
+			}
+		}
+		c.p.FlushDirty(newSeg, segSize)
+	}
+	clearStale := func() {
+		for s := uint64(0); s < slotsPerSeg; s++ {
+			slot := seg + segSlots + s*slotSize
+			if e.Load64(slot+slotTag) != 1 {
+				continue
+			}
+			k := e.Load64(slot + slotKey)
+			if (hash(k)>>(64-depth-1))&1 == 1 {
+				e.Store64(slot+slotTag, 0)
+				c.p.Flush(slot+slotTag, 8)
+			}
+		}
+	}
+
+	switch {
+	case c.cfg.Bugs.Has(BugDirPublishEarly):
+		// BUG: the directory points at the new segment before its
+		// contents exist.
+		publish()
+		c.p.Drain()
+		copyItems()
+		c.p.Drain()
+	case c.cfg.Bugs.Has(BugSplitMoveOrder):
+		// BUG: the source slots are cleared before the directory
+		// points at the copies.
+		copyItems()
+		c.p.Drain()
+		clearStale()
+		c.p.Drain()
+		publish()
+		c.p.Drain()
+	case c.cfg.Bugs.Has(BugSplitSingleFence):
+		// BUG (hidden from prefixes): population and publication share
+		// one fence; hardware may persist the directory first.
+		copyItems()
+		publish()
+		c.p.Drain()
+		clearStale()
+		c.p.Drain()
+	case c.cfg.Bugs.Has(BugClearFusedFence):
+		// BUG (hidden from prefixes): publication and stale-clearing
+		// share one fence; hardware may clear before publishing.
+		copyItems()
+		c.p.Drain()
+		publish()
+		clearStale()
+		c.p.Drain()
+	default:
+		// Correct protocol: populate, fence, publish, fence, clear
+		// stale source slots, fence.
+		copyItems()
+		c.p.Drain()
+		publish()
+		c.p.Drain()
+		clearStale()
+		c.p.Drain()
+	}
+	// Bump the surviving segment's local depth last; it only guides
+	// future splits.
+	e.Store64(seg+segDepth, uint64(depth+1))
+	c.p.Persist(seg+segDepth, 8)
+	return nil
+}
+
+// doubleDirectory doubles the directory and publishes the new one with
+// an atomic metadata switch.
+func (c *cceh) doubleDirectory(dir uint64, g uint) (uint64, uint, error) {
+	e := c.e()
+	newG := g + 1
+	newDir, err := c.p.AllocZeroed(8 << newG)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := uint64(0); i < 1<<g; i++ {
+		seg := e.Load64(dir + 8*i)
+		e.Store64(newDir+8*(2*i), seg)
+		e.Store64(newDir+8*(2*i+1), seg)
+	}
+	if c.cfg.Bugs.Has(BugDirDoubleFused) {
+		// BUG (hidden from prefixes): directory contents and the
+		// metadata switch share one fence.
+		c.p.Flush(newDir, 8<<newG)
+		e.Store64(c.root()+rootMeta, newDir|uint64(newG))
+		c.p.Flush(c.root()+rootMeta, 8)
+		c.p.Drain()
+	} else {
+		c.p.Persist(newDir, 8<<newG)
+		e.Store64(c.root()+rootMeta, newDir|uint64(newG))
+		c.p.Persist(c.root()+rootMeta, 8)
+	}
+	c.p.Free(dir, 8<<g)
+	return newDir, newG, nil
+}
+
+// validate is the recovery consistency check: directory and segment
+// bounds, probe-window placement, and the owned-item count (stale split
+// leftovers — slots whose directory entry points elsewhere — are
+// ignored, as the lookup path ignores them too).
+func (c *cceh) validate() error {
+	e := c.e()
+	dir, g := c.meta()
+	count := e.Load64(c.root() + rootCount)
+	if dir == 0 && count == 0 {
+		return nil // root never initialised
+	}
+	size := uint64(e.Size())
+	if dir == 0 || g == 0 || g > 30 || dir+(8<<g) > size {
+		return fmt.Errorf("cceh: directory metadata invalid (0x%x, depth %d)", dir, g)
+	}
+	segs := map[uint64][]uint64{} // segment -> dir indices
+	for i := uint64(0); i < 1<<g; i++ {
+		seg := e.Load64(dir + 8*i)
+		if seg == 0 || seg%16 != 0 || seg+segSize > size {
+			return fmt.Errorf("cceh: directory entry %d invalid (0x%x)", i, seg)
+		}
+		segs[seg] = append(segs[seg], i)
+	}
+	var owned uint64
+	for seg, indices := range segs {
+		depth := e.Load64(seg + segDepth)
+		if depth > uint64(g) {
+			return fmt.Errorf("cceh: segment 0x%x local depth %d exceeds global %d", seg, depth, g)
+		}
+		for s := uint64(0); s < slotsPerSeg; s++ {
+			slot := seg + segSlots + s*slotSize
+			if e.Load64(slot+slotTag) != 1 {
+				continue
+			}
+			k := e.Load64(slot + slotKey)
+			if e.Load64(dir+8*prefix(k, g)) != seg {
+				continue // stale split leftover, ignored by lookups
+			}
+			// The slot must lie within the probe window of the key's
+			// home slot.
+			home := homeSlot(k)
+			dist := (s - home) & (slotsPerSeg - 1)
+			if dist >= probeLen {
+				return fmt.Errorf("cceh: key %d outside its probe window in segment 0x%x", k, seg)
+			}
+			owned++
+		}
+		_ = indices
+	}
+	switch {
+	case owned == count:
+		return nil
+	case owned == count+1:
+		e.Store64(c.root()+rootCount, owned)
+		c.p.Persist(c.root()+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("cceh: count=%d but %d items owned", count, owned)
+	}
+}
+
+var _ harness.KVApplication = (*App)(nil)

@@ -1,0 +1,71 @@
+package cceh_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/cceh"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 4 << 20} }
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return cceh.New(cfg) }
+}
+
+// denseWorkload triggers several segment splits and at least one
+// directory doubling (initial capacity: 4 segments x 16 slots).
+func denseWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 400, Seed: seed, Keyspace: 200, PutFrac: 2, GetFrac: 1, DeleteFrac: 1})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, cceh.New(cfgBase()), denseWorkload(1))
+}
+
+func TestSemanticsManySplits(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 4000, Seed: 2, Keyspace: 1600})
+	cfg := cfgBase()
+	cfg.PoolSize = 16 << 20
+	apptest.KVSemantics(t, cceh.New(cfg), w)
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(cfgBase()), denseWorkload(3), 300)
+}
+
+func TestFaultInjectionBugsExposed(t *testing.T) {
+	for _, id := range []bugs.ID{cceh.BugDirPublishEarly, cceh.BugSplitMoveOrder} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(id)
+			apptest.ExposesBug(t, mk(cfg), denseWorkload(4), 350)
+		})
+	}
+}
+
+func TestFusedFenceBugsHiddenFromPrefix(t *testing.T) {
+	for _, id := range []bugs.ID{
+		cceh.BugSplitSingleFence,
+		cceh.BugDirDoubleFused,
+		cceh.BugClearFusedFence,
+	} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(id)
+			apptest.HiddenFromPrefix(t, mk(cfg), denseWorkload(5), 300)
+		})
+	}
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable("cceh/pf-01", "cceh/pf-02", "cceh/pf-03")
+	apptest.CrashConsistent(t, mk(cfg), denseWorkload(6), 200)
+}

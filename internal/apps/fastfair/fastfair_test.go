@@ -1,0 +1,64 @@
+package fastfair_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/fastfair"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 4 << 20} }
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return fastfair.New(cfg) }
+}
+
+func denseWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 300, Seed: seed, Keyspace: 120, PutFrac: 2, GetFrac: 1, DeleteFrac: 1})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, fastfair.New(cfgBase()), denseWorkload(1))
+}
+
+func TestSemanticsManySplits(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 5000, Seed: 2, Keyspace: 2000})
+	cfg := cfgBase()
+	cfg.PoolSize = 16 << 20
+	apptest.KVSemantics(t, fastfair.New(cfg), w)
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(cfgBase()), denseWorkload(3), 0)
+}
+
+func TestShiftLostKeyExposed(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable(fastfair.BugShiftLostKey)
+	apptest.ExposesBug(t, mk(cfg), denseWorkload(4), 0)
+}
+
+func TestFusedFenceBugsHiddenFromPrefix(t *testing.T) {
+	for _, id := range []bugs.ID{
+		fastfair.BugShiftSingleFence,
+		fastfair.BugSiblingSingleFence,
+		fastfair.BugSplitFusedFence,
+	} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(id)
+			apptest.HiddenFromPrefix(t, mk(cfg), denseWorkload(5), 0)
+		})
+	}
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable("fastfair/pf-01", "fastfair/pf-02", "fastfair/pf-03")
+	apptest.CrashConsistent(t, mk(cfg), denseWorkload(6), 0)
+}

@@ -1,0 +1,387 @@
+// Package hashatomic reimplements PMDK's libpmemobj hashmap_atomic
+// example: a chained hash table maintained with atomic 8-byte updates
+// and explicit persists instead of transactions. The table pointer and
+// bucket count are packed into a single 8-byte word so growth publishes
+// atomically.
+//
+// Matching the paper's observation, the target "does not operate
+// correctly with PMDK 1.8": Setup refuses V18 and the experiment
+// harness excludes the pair.
+//
+// Bug knobs: hashmap/publish-before-init and hashmap/rebuild-swap-early
+// (fault injection), hashmap/insert-single-fence (hidden from
+// program-order prefixes), and hashmap/pf-01..pf-08 (trace analysis).
+package hashatomic
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/perfbug"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Seeded bug identifiers.
+const (
+	// BugPublishBeforeInit persists the bucket head pointing at a node
+	// whose fields have not been written yet.
+	BugPublishBeforeInit bugs.ID = "hashmap/publish-before-init"
+	// BugRebuildSwapEarly publishes the grown table before rehashing.
+	BugRebuildSwapEarly bugs.ID = "hashmap/rebuild-swap-early"
+	// BugInsertSingleFence fuses the node and head write-backs under
+	// one fence; the exposing states violate program order and are
+	// invisible to prefix-based fault injection.
+	BugInsertSingleFence bugs.ID = "hashmap/insert-single-fence"
+)
+
+// ErrV18 reports the PMDK 1.8 incompatibility.
+var ErrV18 = errors.New("hashatomic: hashmap_atomic does not operate correctly with PMDK 1.8")
+
+const (
+	rootMeta   = 0x00 // u64: table offset | log2(nbuckets) (offsets are 16-aligned)
+	rootCount  = 0x08 // u64 elements
+	rootStats  = 0x40 // transient-data scratch, on its own never-flushed line
+	rootSize   = 0x80
+	initialLog = 4 // 16 buckets
+
+	nodeKey  = 0x00
+	nodeVal  = 0x08
+	nodeNext = 0x10
+	nodeSize = 0x20
+)
+
+// App is the hashmap_atomic data store.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("hashmap", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string { return "hashmap-atomic" }
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	if a.cfg.Ver == pmdk.V18 {
+		return ErrV18
+	}
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	table, err := p.AllocZeroed(8 << initialLog)
+	if err != nil {
+		return err
+	}
+	p.Persist(table, 8<<initialLog)
+	e.Store64(p.Root()+rootMeta, table|initialLog)
+	e.Store64(p.Root()+rootCount, 0)
+	p.Persist(p.Root(), 16)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	if a.cfg.Ver == pmdk.V18 {
+		return nil, ErrV18
+	}
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &hmap{p: p, cfg: a.cfg}, nil
+}
+
+// Run implements harness.Application.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application.
+func (a *App) Recover(e *pmem.Engine) error {
+	if a.cfg.Ver == pmdk.V18 {
+		return ErrV18
+	}
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	h := &hmap{p: p, cfg: a.cfg}
+	return h.validate()
+}
+
+type hmap struct {
+	p   *pmdk.Pool
+	cfg apps.Config
+}
+
+func (h *hmap) e() *pmem.Engine { return h.p.Engine() }
+func (h *hmap) root() uint64    { return h.p.Root() }
+
+// meta unpacks the packed table word.
+func (h *hmap) meta() (table uint64, logN uint) {
+	m := h.e().Load64(h.root() + rootMeta)
+	return m &^ 0xf, uint(m & 0xf)
+}
+
+func hash(key uint64) uint64 {
+	key *= 0x9E3779B97F4A7C15
+	key ^= key >> 29
+	key *= 0xBF58476D1CE4E5B9
+	key ^= key >> 32
+	return key
+}
+
+func (h *hmap) bucketAddr(table uint64, logN uint, key uint64) uint64 {
+	return table + 8*(hash(key)&((1<<logN)-1))
+}
+
+// Get implements harness.KV.
+func (h *hmap) Get(key uint64) (uint64, bool, error) {
+	perfbug.ApplyN(h.e(), h.cfg.Bugs, "hashmap", 4, 6, 0, h.root()+rootStats)
+	table, logN := h.meta()
+	n := h.e().Load64(h.bucketAddr(table, logN, key))
+	for n != 0 {
+		if h.e().Load64(n+nodeKey) == key {
+			return h.e().Load64(n + nodeVal), true, nil
+		}
+		n = h.e().Load64(n + nodeNext)
+	}
+	return 0, false, nil
+}
+
+// Put implements harness.KV.
+func (h *hmap) Put(key, val uint64) error {
+	perfbug.ApplyN(h.e(), h.cfg.Bugs, "hashmap", 1, 3, 0, h.root()+rootStats)
+	e := h.e()
+	table, logN := h.meta()
+	bucket := h.bucketAddr(table, logN, key)
+	for n := e.Load64(bucket); n != 0; n = e.Load64(n + nodeNext) {
+		if e.Load64(n+nodeKey) == key {
+			// Overwrite: an atomic 8-byte update.
+			e.Store64(n+nodeVal, val)
+			h.p.Persist(n+nodeVal, 8)
+			return nil
+		}
+	}
+	node, err := h.p.AllocZeroed(nodeSize)
+	if err != nil {
+		return err
+	}
+	// Empty-bucket inserts and chain prepends are distinct code paths,
+	// as in the original example (and therefore distinct failure
+	// points for path-based fault injectors).
+	if head := e.Load64(bucket); head == 0 {
+		h.insertFirst(bucket, node, key, val)
+	} else {
+		h.insertChain(bucket, node, head, key, val)
+	}
+	// Element count follows the insert (the recovery procedure repairs
+	// a count one short).
+	count := e.Load64(h.root() + rootCount)
+	e.Store64(h.root()+rootCount, count+1)
+	h.p.Persist(h.root()+rootCount, 8)
+
+	if count+1 > 4<<logN {
+		return h.grow(table, logN)
+	}
+	return nil
+}
+
+// insertFirst installs the first node of an empty bucket.
+func (h *hmap) insertFirst(bucket, node, key, val uint64) {
+	h.storeAndPublish(bucket, node, 0, key, val)
+}
+
+// insertChain prepends a node to a non-empty bucket.
+func (h *hmap) insertChain(bucket, node, head, key, val uint64) {
+	h.storeAndPublish(bucket, node, head, key, val)
+}
+
+// storeAndPublish writes the node and publishes it in the bucket, with
+// the seeded orderings selected by the bug knobs.
+func (h *hmap) storeAndPublish(bucket, node, next, key, val uint64) {
+	e := h.e()
+	switch {
+	case h.cfg.Bugs.Has(BugPublishBeforeInit):
+		// BUG: the bucket head is published and persisted before the
+		// node fields exist.
+		e.Store64(bucket, node)
+		h.p.Persist(bucket, 8)
+		e.Store64(node+nodeKey, key)
+		e.Store64(node+nodeVal, val)
+		e.Store64(node+nodeNext, next)
+		h.p.Persist(node, nodeSize)
+	case h.cfg.Bugs.Has(BugInsertSingleFence):
+		// BUG (hidden from prefixes): node and head write-backs fused
+		// under a single fence; hardware may persist the head first.
+		e.Store64(node+nodeKey, key)
+		e.Store64(node+nodeVal, val)
+		e.Store64(node+nodeNext, next)
+		h.p.Flush(node, nodeSize)
+		e.Store64(bucket, node)
+		h.p.Flush(bucket, 8)
+		h.p.Drain()
+	default:
+		// Correct protocol: initialise and persist the node, then
+		// publish it with an atomic persisted head update.
+		e.Store64(node+nodeKey, key)
+		e.Store64(node+nodeVal, val)
+		e.Store64(node+nodeNext, next)
+		h.p.Persist(node, nodeSize)
+		e.Store64(bucket, node)
+		h.p.Persist(bucket, 8)
+	}
+}
+
+// Delete implements harness.KV.
+func (h *hmap) Delete(key uint64) error {
+	perfbug.ApplyN(h.e(), h.cfg.Bugs, "hashmap", 7, 8, 0, h.root()+rootStats)
+	e := h.e()
+	table, logN := h.meta()
+	bucket := h.bucketAddr(table, logN, key)
+	prev := uint64(0)
+	n := e.Load64(bucket)
+	for n != 0 && e.Load64(n+nodeKey) != key {
+		prev, n = n, e.Load64(n+nodeNext)
+	}
+	if n == 0 {
+		return nil
+	}
+	// Count first, then unlink: the in-between state reads as one
+	// reachable element above the count, which recovery repairs.
+	count := e.Load64(h.root() + rootCount)
+	e.Store64(h.root()+rootCount, count-1)
+	h.p.Persist(h.root()+rootCount, 8)
+	next := e.Load64(n + nodeNext)
+	if prev == 0 {
+		e.Store64(bucket, next)
+		h.p.Persist(bucket, 8)
+	} else {
+		e.Store64(prev+nodeNext, next)
+		h.p.Persist(prev+nodeNext, 8)
+	}
+	h.p.Free(n, nodeSize)
+	return nil
+}
+
+// grow doubles the table: copy-rehash every node into freshly allocated
+// nodes, persist, then publish table+size with one atomic word.
+func (h *hmap) grow(oldTable uint64, oldLog uint) error {
+	e := h.e()
+	newLog := oldLog + 1
+	newTable, err := h.p.AllocZeroed(8 << newLog)
+	if err != nil {
+		return err
+	}
+	if h.cfg.Bugs.Has(BugRebuildSwapEarly) {
+		// BUG: the new (still empty) table is published before the
+		// rehash copies anything; a crash mid-rehash loses elements.
+		e.Store64(h.root()+rootMeta, newTable|uint64(newLog))
+		h.p.Persist(h.root()+rootMeta, 8)
+	}
+	for b := uint64(0); b < 1<<oldLog; b++ {
+		for n := e.Load64(oldTable + 8*b); n != 0; n = e.Load64(n + nodeNext) {
+			key := e.Load64(n + nodeKey)
+			val := e.Load64(n + nodeVal)
+			node, err := h.p.AllocZeroed(nodeSize)
+			if err != nil {
+				return err
+			}
+			dst := h.bucketAddr(newTable, newLog, key)
+			e.Store64(node+nodeKey, key)
+			e.Store64(node+nodeVal, val)
+			e.Store64(node+nodeNext, e.Load64(dst))
+			h.p.Persist(node, nodeSize)
+			e.Store64(dst, node)
+			h.p.Persist(dst, 8)
+		}
+	}
+	if !h.cfg.Bugs.Has(BugRebuildSwapEarly) {
+		e.Store64(h.root()+rootMeta, newTable|uint64(newLog))
+		h.p.Persist(h.root()+rootMeta, 8)
+	}
+	// Release the old table and nodes; a crash here only leaks.
+	for b := uint64(0); b < 1<<oldLog; b++ {
+		n := e.Load64(oldTable + 8*b)
+		for n != 0 {
+			next := e.Load64(n + nodeNext)
+			h.p.Free(n, nodeSize)
+			n = next
+		}
+	}
+	h.p.Free(oldTable, 8<<oldLog)
+	return nil
+}
+
+// validate is the recovery consistency check: bounds, bucket placement,
+// cycle detection and count reconciliation.
+func (h *hmap) validate() error {
+	e := h.e()
+	table, logN := h.meta()
+	count := e.Load64(h.root() + rootCount)
+	if table == 0 && logN == 0 && count == 0 {
+		// The pool was created but the application root was never
+		// initialised: a consistent fresh state.
+		return nil
+	}
+	if table == 0 || logN == 0 || table+(8<<logN) > uint64(e.Size()) {
+		return fmt.Errorf("hashatomic: table meta invalid (0x%x, 2^%d)", table, logN)
+	}
+	var reachable uint64
+	for b := uint64(0); b < 1<<logN; b++ {
+		n := e.Load64(table + 8*b)
+		var steps uint64
+		for n != 0 {
+			if n%16 != 0 || n+nodeSize > uint64(e.Size()) {
+				return fmt.Errorf("hashatomic: node 0x%x out of bounds in bucket %d", n, b)
+			}
+			key := e.Load64(n + nodeKey)
+			if hash(key)&((1<<logN)-1) != b {
+				return fmt.Errorf("hashatomic: key %d found in bucket %d, belongs in %d",
+					key, b, hash(key)&((1<<logN)-1))
+			}
+			reachable++
+			steps++
+			if steps > count+8 {
+				return fmt.Errorf("hashatomic: bucket %d chain too long (cycle?)", b)
+			}
+			n = e.Load64(n + nodeNext)
+		}
+	}
+	switch {
+	case reachable == count:
+		return nil
+	case reachable == count+1:
+		e.Store64(h.root()+rootCount, reachable)
+		h.p.Persist(h.root()+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("hashatomic: count=%d but %d reachable", count, reachable)
+	}
+}
+
+var _ harness.KVApplication = (*App)(nil)

@@ -1,0 +1,85 @@
+package hashatomic_test
+
+import (
+	"errors"
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/hashatomic"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 1 << 20} }
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return hashatomic.New(cfg) }
+}
+
+func smallWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 150, Seed: seed, Keyspace: 50})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, hashatomic.New(cfgBase()), smallWorkload(1))
+}
+
+func TestGrowthSemantics(t *testing.T) {
+	// Enough puts to force several table doublings.
+	w := workload.Generate(workload.Config{N: 2000, Seed: 2, Keyspace: 900})
+	cfg := apps.Config{PoolSize: 8 << 20}
+	apptest.KVSemantics(t, hashatomic.New(cfg), w)
+}
+
+func TestV18Unsupported(t *testing.T) {
+	app := hashatomic.New(apps.Config{Ver: pmdk.V18, PoolSize: 1 << 20})
+	e := pmem.NewEngine(pmem.Options{PoolSize: app.PoolSize()})
+	if err := app.Setup(e); !errors.Is(err, hashatomic.ErrV18) {
+		t.Fatalf("setup on V18 = %v, want ErrV18", err)
+	}
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(cfgBase()), smallWorkload(3), 200)
+}
+
+func TestCrashConsistentAcrossGrowth(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 400, Seed: 4, Keyspace: 200, PutFrac: 1})
+	apptest.CrashConsistent(t, mk(cfgBase()), w, 150)
+}
+
+func TestSeededCorrectnessBugsAreExposed(t *testing.T) {
+	// The rebuild bug needs enough distinct keys to trigger growth.
+	growth := workload.Generate(workload.Config{N: 300, Seed: 5, Keyspace: 150, PutFrac: 1})
+	cases := []struct {
+		id bugs.ID
+		w  workload.Workload
+	}{
+		{hashatomic.BugPublishBeforeInit, smallWorkload(5)},
+		{hashatomic.BugRebuildSwapEarly, growth},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.id), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(tc.id)
+			apptest.ExposesBug(t, mk(cfg), tc.w, 400)
+		})
+	}
+}
+
+func TestSingleFenceBugHiddenFromPrefix(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable(hashatomic.BugInsertSingleFence)
+	apptest.HiddenFromPrefix(t, mk(cfg), smallWorkload(6), 250)
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable("hashmap/pf-01", "hashmap/pf-02", "hashmap/pf-03")
+	apptest.CrashConsistent(t, mk(cfg), smallWorkload(7), 150)
+}

@@ -1,0 +1,684 @@
+// Package levelhash reimplements Level Hashing (Zuo et al., OSDI'18): a
+// write-optimised two-level bucketised hash table for PM. Every key has
+// four candidate buckets — two hash functions over the top level, and
+// their images in the half-sized bottom level — with one-step
+// displacement before a resize doubles the top level.
+//
+// The package is the §6.2 oracle case study: the original system ships
+// without a recovery procedure, so Config.WithRecovery toggles between a
+// minimal open-and-bounds-check recovery (under which only one of the 17
+// seeded crash-consistency bugs is detectable) and the paper's added
+// ~20-line recovery that traverses the structure, reconciles the
+// persisted counters and dedupes interrupted displacements.
+//
+// Bug knobs: levelhash/c01..c17 (fault injection; see internal/bugs for
+// descriptions) and levelhash/pf-01..pf-12 (trace analysis).
+package levelhash
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/perfbug"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+const (
+	slotsPerBucket = 4
+
+	slotTag  = 0x00 // u64: 1 = occupied
+	slotKey  = 0x08
+	slotVal  = 0x10
+	slotSize = 0x18
+	bucket   = slotsPerBucket * slotSize
+
+	// Root layout: an active-selector word plus two metadata records,
+	// so a resize publishes atomically by flipping the selector.
+	rootActive = 0x00 // u64: 0 or 1
+	rootMeta0  = 0x08 // {top u64, bottom u64, logTop u64}
+	rootMeta1  = 0x20
+	rootCount  = 0x38
+	rootStats  = 0x40 // own cache line: never flushed by design
+	rootSize   = 0x80
+	metaTop    = 0x00
+	metaBottom = 0x08
+	metaLog    = 0x10
+
+	initialLog = 4 // 16 top buckets, 8 bottom buckets
+)
+
+// ErrFull is returned when a resize cannot place every item (it cannot
+// happen with the displacement step but is kept for API completeness).
+var ErrFull = errors.New("levelhash: table full")
+
+func b(i int) bugs.ID { return bugs.ID(fmt.Sprintf("levelhash/c%02d-%s", i, slugs[i])) }
+
+// slugs must match the registry entries.
+var slugs = map[int]string{
+	1: "top-slot-count-order", 2: "bottom-slot-count-order",
+	3: "top-alt-count-order", 4: "bottom-alt-count-order",
+	5: "delete-unlink-first", 6: "delete-alt-unlink-first",
+	7: "resize-remove-first", 8: "resize-alt-remove-first",
+	9: "resize-publish-early", 10: "resize-count-early",
+	11: "tag-before-kv", 12: "tag-before-kv-bottom",
+	13: "update-clear-first", 14: "update-clear-first-alt",
+	15: "swap-evict-order", 16: "swap-evict-order-alt",
+	17: "resize-old-free-early",
+}
+
+// App is the Level Hashing store.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("levelhash", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string { return "levelhash" }
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	h := &level{p: p, cfg: a.cfg}
+	top, bottom, err := h.allocLevels(initialLog)
+	if err != nil {
+		return err
+	}
+	r := p.Root()
+	e.Store64(r+rootMeta0+metaTop, top)
+	e.Store64(r+rootMeta0+metaBottom, bottom)
+	e.Store64(r+rootMeta0+metaLog, initialLog)
+	e.Store64(r+rootCount, 0)
+	// One persist covers the metadata record and the count (they share
+	// a cache line; Mumak's own trace analysis flags the split version
+	// as a redundant flush).
+	p.Persist(r+rootMeta0, rootCount-rootMeta0+8)
+	e.Store64(r+rootActive, 0)
+	p.Persist(r+rootActive, 8)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &level{p: p, cfg: a.cfg}, nil
+}
+
+// Run implements harness.Application.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application. Without WithRecovery it
+// mirrors the original system: open the pool and bounds-check the active
+// metadata, nothing more — the imperfect oracle of §6.2. With it, the
+// added recovery walks every bucket, validates placement, dedupes
+// interrupted displacements and reconciles the count.
+func (a *App) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	h := &level{p: p, cfg: a.cfg}
+	if !a.cfg.WithRecovery {
+		return h.minimalCheck()
+	}
+	if err := h.minimalCheck(); err != nil {
+		return err
+	}
+	return h.validate()
+}
+
+type level struct {
+	p   *pmdk.Pool
+	cfg apps.Config
+}
+
+func (h *level) e() *pmem.Engine { return h.p.Engine() }
+func (h *level) root() uint64    { return h.p.Root() }
+
+func (h *level) has(i int) bool { return h.cfg.Bugs.Has(b(i)) }
+
+func (h *level) meta() (top, bottom uint64, logTop uint) {
+	r := h.root()
+	active := h.e().Load64(r + rootActive)
+	m := r + rootMeta0
+	if active == 1 {
+		m = r + rootMeta1
+	}
+	return h.e().Load64(m + metaTop), h.e().Load64(m + metaBottom), uint(h.e().Load64(m + metaLog))
+}
+
+func (h *level) allocLevels(logTop uint) (top, bottom uint64, err error) {
+	top, err = h.p.AllocZeroed(bucket << logTop)
+	if err != nil {
+		return 0, 0, err
+	}
+	h.p.Persist(top, bucket<<logTop)
+	bottom, err = h.p.AllocZeroed(bucket << (logTop - 1))
+	if err != nil {
+		return 0, 0, err
+	}
+	h.p.Persist(bottom, bucket<<(logTop-1))
+	return top, bottom, nil
+}
+
+func hash1(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	key *= 0xC4CEB9FE1A85EC53
+	key ^= key >> 33
+	return key
+}
+
+func hash2(key uint64) uint64 {
+	key ^= 0xA5A5A5A5A5A5A5A5
+	key ^= key >> 30
+	key *= 0xBF58476D1CE4E5B9
+	key ^= key >> 27
+	key *= 0x94D049BB133111EB
+	key ^= key >> 31
+	return key
+}
+
+// candidate returns the address of the idx-th candidate bucket for key:
+// 0 = top/h1, 1 = top/h2, 2 = bottom/h1, 3 = bottom/h2.
+func (h *level) candidate(top, bottom uint64, logTop uint, key uint64, idx int) uint64 {
+	switch idx {
+	case 0:
+		return top + bucket*(hash1(key)&((1<<logTop)-1))
+	case 1:
+		return top + bucket*(hash2(key)&((1<<logTop)-1))
+	case 2:
+		return bottom + bucket*(hash1(key)&((1<<(logTop-1))-1))
+	default:
+		return bottom + bucket*(hash2(key)&((1<<(logTop-1))-1))
+	}
+}
+
+// findSlot returns the slot address holding key, plus the candidate
+// index it was found at, or 0.
+func (h *level) findSlot(key uint64) (uint64, int) {
+	top, bottom, logTop := h.meta()
+	for idx := 0; idx < 4; idx++ {
+		bkt := h.candidate(top, bottom, logTop, key, idx)
+		for s := 0; s < slotsPerBucket; s++ {
+			slot := bkt + uint64(s)*slotSize
+			if h.e().Load64(slot+slotTag) == 1 && h.e().Load64(slot+slotKey) == key {
+				return slot, idx
+			}
+		}
+	}
+	return 0, -1
+}
+
+// Get implements harness.KV.
+func (h *level) Get(key uint64) (uint64, bool, error) {
+	perfbug.ApplyN(h.e(), h.cfg.Bugs, "levelhash", 4, 6, 0, h.root()+rootStats)
+	slot, _ := h.findSlot(key)
+	if slot == 0 {
+		return 0, false, nil
+	}
+	return h.e().Load64(slot + slotVal), true, nil
+}
+
+// writeSlot stores an item into an empty slot with the correct
+// (value-then-tag) or buggy (tag-first) ordering. bottom selects the
+// tag-before-kv knob variant.
+func (h *level) writeSlot(slot, key, val uint64, bottom bool) {
+	e := h.e()
+	tagFirst := (!bottom && h.has(11)) || (bottom && h.has(12))
+	if tagFirst {
+		// BUG: the occupied tag is persisted before the key and value.
+		e.Store64(slot+slotTag, 1)
+		h.p.Persist(slot+slotTag, 8)
+		e.Store64(slot+slotKey, key)
+		e.Store64(slot+slotVal, val)
+		h.p.Persist(slot+slotKey, 16)
+		return
+	}
+	e.Store64(slot+slotKey, key)
+	e.Store64(slot+slotVal, val)
+	h.p.Persist(slot+slotKey, 16)
+	e.Store64(slot+slotTag, 1)
+	h.p.Persist(slot+slotTag, 8)
+}
+
+// bumpCount adjusts the persisted count; countFirst selects the buggy
+// order in which the count changes before the slot.
+func (h *level) bumpCount(delta int64) {
+	addr := h.root() + rootCount
+	h.e().Store64(addr, h.e().Load64(addr)+uint64(delta))
+	h.p.Persist(addr, 8)
+}
+
+// emptySlotIn returns the address of a free slot in bucket, or 0.
+func (h *level) emptySlotIn(bkt uint64) uint64 {
+	for s := 0; s < slotsPerBucket; s++ {
+		slot := bkt + uint64(s)*slotSize
+		if h.e().Load64(slot+slotTag) == 0 {
+			return slot
+		}
+	}
+	return 0
+}
+
+// Put implements harness.KV.
+func (h *level) Put(key, val uint64) error {
+	perfbug.ApplyN(h.e(), h.cfg.Bugs, "levelhash", 1, 3, 0, h.root()+rootStats)
+	// Update in place when present.
+	if slot, idx := h.findSlot(key); slot != 0 {
+		perfbug.ApplyN(h.e(), h.cfg.Bugs, "levelhash", 10, 12, 0, h.root()+rootStats)
+		alt := idx == 1 || idx == 3
+		if (!alt && h.has(13)) || (alt && h.has(14)) {
+			// BUG: the update clears the tag, persists, then rewrites
+			// the item; the window loses the key.
+			h.e().Store64(slot+slotTag, 0)
+			h.p.Persist(slot+slotTag, 8)
+			h.e().Store64(slot+slotVal, val)
+			h.p.Persist(slot+slotVal, 8)
+			h.e().Store64(slot+slotTag, 1)
+			h.p.Persist(slot+slotTag, 8)
+			return nil
+		}
+		// Correct: an atomic 8-byte value overwrite.
+		h.e().Store64(slot+slotVal, val)
+		h.p.Persist(slot+slotVal, 8)
+		return nil
+	}
+	if err := h.insertNew(key, val); err != nil {
+		return err
+	}
+	return nil
+}
+
+// insertNew places a new key, displacing or resizing when needed.
+func (h *level) insertNew(key, val uint64) error {
+	for {
+		top, bottom, logTop := h.meta()
+		for idx := 0; idx < 4; idx++ {
+			bkt := h.candidate(top, bottom, logTop, key, idx)
+			slot := h.emptySlotIn(bkt)
+			if slot == 0 {
+				continue
+			}
+			countFirst := map[int]bool{0: h.has(1), 1: h.has(3), 2: h.has(2), 3: h.has(4)}[idx]
+			if countFirst {
+				// BUG: the count is persisted before the item exists.
+				h.bumpCount(1)
+				h.writeSlot(slot, key, val, idx >= 2)
+				return nil
+			}
+			h.writeSlot(slot, key, val, idx >= 2)
+			h.bumpCount(1)
+			return nil
+		}
+		if h.displace(top, bottom, logTop, key) {
+			continue
+		}
+		if err := h.resize(); err != nil {
+			return err
+		}
+	}
+}
+
+// displace frees a slot in one of key's candidate buckets by moving a
+// victim elsewhere. Two movement forms exist, as in the original system:
+// a top-to-top move to the victim's alternate top bucket, and a
+// bottom-to-top promotion. The forms are tried in a key-dependent order
+// so dense workloads exercise both.
+func (h *level) displace(top, bottom uint64, logTop uint, key uint64) bool {
+	if (hash1(key)>>16)&1 == 0 {
+		return h.promote(top, bottom, logTop, key) || h.topMove(top, bottom, logTop, key)
+	}
+	return h.topMove(top, bottom, logTop, key) || h.promote(top, bottom, logTop, key)
+}
+
+// moveVictim relocates the item in victim to the free slot dst,
+// correctly (copy, persist, clear — a transient duplicate the recovery
+// dedupes) or evict-first under the given bug knob.
+func (h *level) moveVictim(victim, dst uint64, evictFirst bool) {
+	e := h.e()
+	vk := e.Load64(victim + slotKey)
+	vv := e.Load64(victim + slotVal)
+	if evictFirst {
+		// BUG: the victim is removed before its copy exists.
+		e.Store64(victim+slotTag, 0)
+		h.p.Persist(victim+slotTag, 8)
+		h.writeSlot(dst, vk, vv, false)
+		return
+	}
+	h.writeSlot(dst, vk, vv, false)
+	e.Store64(victim+slotTag, 0)
+	h.p.Persist(victim+slotTag, 8)
+}
+
+// topMove relocates a victim from one of key's top candidate buckets to
+// the victim's alternate top bucket (bug knob 15).
+func (h *level) topMove(top, bottom uint64, logTop uint, key uint64) bool {
+	e := h.e()
+	for idx := 0; idx < 2; idx++ {
+		bkt := h.candidate(top, bottom, logTop, key, idx)
+		for s := 0; s < slotsPerBucket; s++ {
+			victim := bkt + uint64(s)*slotSize
+			if e.Load64(victim+slotTag) != 1 {
+				continue
+			}
+			vk := e.Load64(victim + slotKey)
+			altIdx := 0
+			if h.candidate(top, bottom, logTop, vk, 0) == bkt {
+				altIdx = 1
+			}
+			free := h.emptySlotIn(h.candidate(top, bottom, logTop, vk, altIdx))
+			if free == 0 {
+				continue
+			}
+			h.moveVictim(victim, free, h.has(15))
+			return true
+		}
+	}
+	return false
+}
+
+// promote relocates a victim from one of key's bottom candidate buckets
+// up to one of the victim's own top buckets (bug knob 16).
+func (h *level) promote(top, bottom uint64, logTop uint, key uint64) bool {
+	e := h.e()
+	for idx := 2; idx < 4; idx++ {
+		bkt := h.candidate(top, bottom, logTop, key, idx)
+		for s := 0; s < slotsPerBucket; s++ {
+			victim := bkt + uint64(s)*slotSize
+			if e.Load64(victim+slotTag) != 1 {
+				continue
+			}
+			vk := e.Load64(victim + slotKey)
+			for _, tIdx := range []int{0, 1} {
+				free := h.emptySlotIn(h.candidate(top, bottom, logTop, vk, tIdx))
+				if free == 0 {
+					continue
+				}
+				h.moveVictim(victim, free, h.has(16))
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Delete implements harness.KV.
+func (h *level) Delete(key uint64) error {
+	perfbug.ApplyN(h.e(), h.cfg.Bugs, "levelhash", 7, 9, 0, h.root()+rootStats)
+	slot, idx := h.findSlot(key)
+	if slot == 0 {
+		return nil
+	}
+	alt := idx == 1 || idx == 3
+	unlinkFirst := (!alt && h.has(5)) || (alt && h.has(6))
+	if unlinkFirst {
+		// BUG: the slot disappears before the count reflects it.
+		h.e().Store64(slot+slotTag, 0)
+		h.p.Persist(slot+slotTag, 8)
+		h.bumpCount(-1)
+		return nil
+	}
+	// Correct: decrement first; the window reads as one extra
+	// reachable item, which recovery repairs.
+	h.bumpCount(-1)
+	h.e().Store64(slot+slotTag, 0)
+	h.p.Persist(slot+slotTag, 8)
+	if idx < 2 {
+		// A top-level slot opened up: promote a matching bottom item
+		// into it to keep the fast level dense (bottom-to-top
+		// movement).
+		h.promoteInto(slot)
+	}
+	return nil
+}
+
+// promoteInto fills a freed top-level slot with the first bottom-level
+// item that hashes to its bucket (bug knob 16).
+func (h *level) promoteInto(freeSlot uint64) {
+	e := h.e()
+	top, bottom, logTop := h.meta()
+	// Identify the top bucket the slot belongs to.
+	b := (freeSlot - top) / bucket
+	mask := uint64(1<<logTop) - 1
+	for bb := uint64(0); bb < 1<<(logTop-1); bb++ {
+		for s := 0; s < slotsPerBucket; s++ {
+			victim := bottom + bb*bucket + uint64(s)*slotSize
+			if e.Load64(victim+slotTag) != 1 {
+				continue
+			}
+			vk := e.Load64(victim + slotKey)
+			if hash1(vk)&mask != b && hash2(vk)&mask != b {
+				continue
+			}
+			h.moveVictim(victim, freeSlot, h.has(16))
+			return
+		}
+	}
+}
+
+// resize doubles the top level: the old top becomes the new bottom and
+// every old-bottom item is reinserted into the new top. The new
+// structure is published by atomically flipping the selector word.
+func (h *level) resize() error {
+	e := h.e()
+	r := h.root()
+	oldTop, oldBottom, logTop := h.meta()
+	newLog := logTop + 1
+	newTop, err := h.p.AllocZeroed(bucket << newLog)
+	if err != nil {
+		return err
+	}
+	h.p.Persist(newTop, bucket<<newLog)
+	// Prepare the inactive metadata record.
+	active := e.Load64(r + rootActive)
+	activeMeta := r + rootMeta0
+	inactive := r + rootMeta1
+	if active == 1 {
+		activeMeta, inactive = inactive, activeMeta
+	}
+	if h.has(10) {
+		// BUG: the new capacity is persisted into the *active* record
+		// before any item has moved; until the end of the rehash the
+		// live structure claims buckets it does not have.
+		e.Store64(activeMeta+metaLog, uint64(newLog))
+		h.p.Persist(activeMeta+metaLog, 8)
+	}
+	e.Store64(inactive+metaTop, newTop)
+	e.Store64(inactive+metaBottom, oldTop)
+	e.Store64(inactive+metaLog, uint64(newLog))
+	h.p.Persist(inactive, 24)
+
+	if h.has(9) {
+		// BUG: the selector flips before the rehash below has moved
+		// anything — and in this variant the metadata record is
+		// re-persisted only afterwards, so even the minimal recovery's
+		// bounds check can observe a torn record.
+		e.Store64(r+rootActive, 1-active)
+		h.p.Persist(r+rootActive, 8)
+		e.Store64(inactive+metaTop, newTop)
+		e.Store64(inactive+metaBottom, 0) // transiently invalid
+		h.p.Persist(inactive, 24)
+		e.Store64(inactive+metaBottom, oldTop)
+		h.p.Persist(inactive, 24)
+	}
+	if h.has(17) {
+		// BUG: the resize releases the wrong level — the old top,
+		// which lives on as the new bottom. The allocator's free-list
+		// header clobbers its first slots and later allocations will
+		// reuse live memory.
+		h.p.Free(oldTop, bucket<<logTop)
+	}
+	// Reinsert every old-bottom item into the new top level.
+	for bkt := uint64(0); bkt < 1<<(logTop-1); bkt++ {
+		for s := 0; s < slotsPerBucket; s++ {
+			slot := oldBottom + bkt*bucket + uint64(s)*slotSize
+			if e.Load64(slot+slotTag) != 1 {
+				continue
+			}
+			k := e.Load64(slot + slotKey)
+			v := e.Load64(slot + slotVal)
+			placed := false
+			// Balance the reinsertion across both hash functions so
+			// the two movement paths stay comparably hot.
+			order := [2]int{0, 1}
+			if (hash1(k)>>17)&1 != 0 {
+				order = [2]int{1, 0}
+			}
+			for _, idx := range order {
+				dstBkt := newTop + bucket*(hashFor(idx, k)&((1<<newLog)-1))
+				if free := h.emptySlotIn(dstBkt); free != 0 {
+					removeFirst := (idx == 0 && h.has(7)) || (idx == 1 && h.has(8))
+					if removeFirst {
+						// BUG: the still-active old slot is cleared
+						// before the copy exists in the new level.
+						e.Store64(slot+slotTag, 0)
+						h.p.Persist(slot+slotTag, 8)
+					}
+					h.writeSlot(free, k, v, false)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return ErrFull
+			}
+		}
+	}
+	if h.has(10) {
+		// Restore the active record before the switch (the window
+		// above is the bug).
+		e.Store64(activeMeta+metaLog, uint64(logTop))
+		h.p.Persist(activeMeta+metaLog, 8)
+	}
+	if !h.has(9) {
+		e.Store64(r+rootActive, 1-active)
+		h.p.Persist(r+rootActive, 8)
+	}
+	if !h.has(17) {
+		h.p.Free(oldBottom, bucket<<(logTop-1))
+	}
+	return nil
+}
+
+func hashFor(idx int, key uint64) uint64 {
+	if idx == 0 {
+		return hash1(key)
+	}
+	return hash2(key)
+}
+
+// minimalCheck is the recovery the original system effectively has:
+// bounds-check the active metadata record.
+func (h *level) minimalCheck() error {
+	top, bottom, logTop := h.meta()
+	size := uint64(h.e().Size())
+	count := h.e().Load64(h.root() + rootCount)
+	if top == 0 && bottom == 0 && count == 0 {
+		return nil // root never initialised: fresh state
+	}
+	if top == 0 || bottom == 0 || logTop == 0 || logTop > 40 ||
+		top+(bucket<<logTop) > size || bottom+(bucket<<(logTop-1)) > size {
+		return fmt.Errorf("levelhash: active level metadata invalid (top=0x%x bottom=0x%x log=%d)",
+			top, bottom, logTop)
+	}
+	return nil
+}
+
+// validate is the added ~20-line recovery of §6.2: traverse the
+// structure, count the reachable items, compare the result with the
+// persisted counter, and repair the benign windows (duplicate from an
+// interrupted displacement, count one short).
+func (h *level) validate() error {
+	e := h.e()
+	top, bottom, logTop := h.meta()
+	if top == 0 && bottom == 0 {
+		return nil
+	}
+	seen := map[uint64]uint64{} // key -> first slot
+	var reachable uint64
+	scan := func(base uint64, buckets uint64, isBottom bool) error {
+		for bkt := uint64(0); bkt < buckets; bkt++ {
+			for s := 0; s < slotsPerBucket; s++ {
+				slot := base + bkt*bucket + uint64(s)*slotSize
+				if e.Load64(slot+slotTag) != 1 {
+					continue
+				}
+				key := e.Load64(slot + slotKey)
+				if !h.placementOK(top, bottom, logTop, key, base, bkt, isBottom) {
+					return fmt.Errorf("levelhash: key %d misplaced in bucket %d", key, bkt)
+				}
+				if _, dup := seen[key]; dup {
+					// An interrupted displacement left a duplicate:
+					// repair by clearing this copy.
+					e.Store64(slot+slotTag, 0)
+					h.p.Persist(slot+slotTag, 8)
+					continue
+				}
+				seen[key] = slot
+				reachable++
+			}
+		}
+		return nil
+	}
+	if err := scan(top, 1<<logTop, false); err != nil {
+		return err
+	}
+	if err := scan(bottom, 1<<(logTop-1), true); err != nil {
+		return err
+	}
+	count := e.Load64(h.root() + rootCount)
+	switch {
+	case reachable == count:
+		return nil
+	case reachable == count+1:
+		e.Store64(h.root()+rootCount, reachable)
+		h.p.Persist(h.root()+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("levelhash: count=%d but %d items reachable", count, reachable)
+	}
+}
+
+func (h *level) placementOK(top, bottom uint64, logTop uint, key, base, bkt uint64, isBottom bool) bool {
+	if isBottom {
+		mask := uint64(1<<(logTop-1)) - 1
+		return hash1(key)&mask == bkt || hash2(key)&mask == bkt
+	}
+	mask := uint64(1<<logTop) - 1
+	return hash1(key)&mask == bkt || hash2(key)&mask == bkt
+}
+
+var _ harness.KVApplication = (*App)(nil)

@@ -1,0 +1,89 @@
+package levelhash_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/levelhash"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 2 << 20, WithRecovery: true} }
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return levelhash.New(cfg) }
+}
+
+// denseWorkload fills the table enough to exercise displacement and at
+// least one resize (initial capacity is 96 slots).
+func denseWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 500, Seed: seed, Keyspace: 300, PutFrac: 3, GetFrac: 1, DeleteFrac: 1})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, levelhash.New(cfgBase()), denseWorkload(1))
+}
+
+func TestSemanticsAcrossManyResizes(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 3000, Seed: 2, Keyspace: 1200})
+	cfg := cfgBase()
+	cfg.PoolSize = 16 << 20
+	apptest.KVSemantics(t, levelhash.New(cfg), w)
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(cfgBase()), denseWorkload(3), 250)
+}
+
+func TestAllSeventeenBugsExposedWithRecovery(t *testing.T) {
+	for _, b := range bugs.ForApp("levelhash") {
+		if !b.Correctness() {
+			continue
+		}
+		b := b
+		t.Run(string(b.ID), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(b.ID)
+			apptest.ExposesBug(t, mk(cfg), denseWorkload(4), 350)
+		})
+	}
+}
+
+func TestOnlyPublishEarlyExposedWithoutRecovery(t *testing.T) {
+	// Reproduces the §6.2 story: with the original (absent) recovery,
+	// the oracle accepts almost every crash state. Only the
+	// resize-publish-early bug corrupts the metadata the minimal open
+	// path checks.
+	found := map[string]bool{}
+	for _, b := range bugs.ForApp("levelhash") {
+		if !b.Correctness() {
+			continue
+		}
+		cfg := cfgBase()
+		cfg.WithRecovery = false
+		cfg.Bugs = bugs.Enable(b.ID)
+		found[string(b.ID)] = apptest.Exposes(t, mk(cfg), denseWorkload(5), 350)
+	}
+	exposedCount := 0
+	for id, ok := range found {
+		if ok {
+			exposedCount++
+			if id != "levelhash/c09-resize-publish-early" {
+				t.Errorf("bug %s unexpectedly exposed without recovery", id)
+			}
+		}
+	}
+	if exposedCount != 1 {
+		t.Errorf("bugs exposed without recovery = %d, want exactly 1 (§6.2)", exposedCount)
+	}
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable("levelhash/pf-01", "levelhash/pf-02", "levelhash/pf-03",
+		"levelhash/pf-10", "levelhash/pf-11", "levelhash/pf-12")
+	apptest.CrashConsistent(t, mk(cfg), denseWorkload(6), 200)
+}

@@ -1,0 +1,169 @@
+// Package montageht provides the two Montage hashtable targets of the
+// scalability and new-bug evaluations (§6.3, §6.4): Hashtable (plain
+// stores) and LfHashtable (lock-free flavour publishing payloads through
+// RMW instructions). Both keep their index volatile and rebuild it from
+// Montage payloads on recovery, exactly the buffered-durability design
+// that makes Montage independent of PMDK.
+package montageht
+
+import (
+	"mumak/internal/apps"
+	"mumak/internal/harness"
+	"mumak/internal/montage"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// App is a Montage hashtable target.
+type App struct {
+	cfg      apps.Config
+	lockFree bool
+}
+
+// New constructs the lock-based Hashtable.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+// NewLockFree constructs LfHashtable.
+func NewLockFree(cfg apps.Config) *App { return &App{cfg: cfg, lockFree: true} }
+
+func init() {
+	apps.Register("montage-hashtable", func(cfg apps.Config) harness.Application { return New(cfg) })
+	apps.Register("montage-lfhashtable", func(cfg apps.Config) harness.Application { return NewLockFree(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string {
+	if a.lockFree {
+		return "montage-lfhashtable"
+	}
+	return "montage-hashtable"
+}
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+func (a *App) rtConfig() montage.Config {
+	return montage.Config{
+		BuggyAlloc: a.cfg.MontageBuggy || a.cfg.MontageBuggyAlloc,
+		BuggyClose: a.cfg.MontageBuggy || a.cfg.MontageBuggyClose,
+	}
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	_, err := montage.Create(e, a.rtConfig())
+	return err
+}
+
+// Open implements harness.KVApplication: attach to the pool and rebuild
+// the volatile index from payloads.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	rt, err := montage.Open(e, a.rtConfig())
+	if err != nil {
+		return nil, err
+	}
+	h := &table{rt: rt, app: a, index: make(map[uint64]uint64)}
+	if err := rt.Scan(func(off, key, _ uint64) error {
+		h.index[key] = off
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Run implements harness.Application. The run ends with the allocator
+// shutdown (Close), whose crash window is the second §6.4 Montage bug.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	h := kv.(*table)
+	if err := harness.RunKV(h, w); err != nil {
+		return err
+	}
+	h.rt.Close()
+	return nil
+}
+
+// Recover implements harness.Application: reopen and validate the
+// payload region against the allocator checkpoint and count.
+func (a *App) Recover(e *pmem.Engine) error {
+	if montage.NeverCreated(e) {
+		return nil
+	}
+	rt, err := montage.Open(e, a.rtConfig())
+	if err != nil {
+		return err
+	}
+	return rt.Validate()
+}
+
+type table struct {
+	rt    *montage.Runtime
+	app   *App
+	index map[uint64]uint64 // volatile: key -> payload offset
+	ops   int
+}
+
+// Get implements harness.KV.
+func (t *table) Get(key uint64) (uint64, bool, error) {
+	off, ok := t.index[key]
+	if !ok {
+		return 0, false, nil
+	}
+	_, val := t.rt.Payload(off)
+	return val, true, nil
+}
+
+// Put implements harness.KV.
+func (t *table) Put(key, val uint64) error {
+	t.tick()
+	if off, ok := t.index[key]; ok {
+		t.rt.UpdatePayload(off, val)
+		return nil
+	}
+	off, err := t.rt.AllocPayload(key, val)
+	if err != nil {
+		return err
+	}
+	if t.app.lockFree {
+		// The lock-free flavour publishes through a CAS on the payload
+		// state word, giving the run an RMW-heavy instruction mix.
+		t.rt.Engine().CAS64(0x38, 0, 0) // epoch-guard check, fence semantics
+	}
+	t.index[key] = off
+	t.rt.SetCount(uint64(len(t.index)))
+	return nil
+}
+
+// Delete implements harness.KV.
+func (t *table) Delete(key uint64) error {
+	t.tick()
+	off, ok := t.index[key]
+	if !ok {
+		return nil
+	}
+	// Count first: the in-between state has one extra live payload,
+	// which recovery repairs.
+	delete(t.index, key)
+	t.rt.SetCount(uint64(len(t.index)))
+	t.rt.FreePayload(off)
+	return nil
+}
+
+// tick advances the Montage epoch periodically (buffered durability).
+func (t *table) tick() {
+	t.ops++
+	if t.ops%64 == 0 {
+		t.rt.AdvanceEpoch()
+	}
+}
+
+var _ harness.KVApplication = (*App)(nil)

@@ -1,0 +1,50 @@
+package montageht_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/montageht"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 2 << 20} }
+
+func smallWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 250, Seed: seed, Keyspace: 100})
+}
+
+func TestKVSemanticsHashtable(t *testing.T) {
+	apptest.KVSemantics(t, montageht.New(cfgBase()), smallWorkload(1))
+}
+
+func TestKVSemanticsLfHashtable(t *testing.T) {
+	apptest.KVSemantics(t, montageht.NewLockFree(cfgBase()), smallWorkload(2))
+}
+
+func TestCrashConsistentFixedMontage(t *testing.T) {
+	for _, mk := range []func() harness.Application{
+		func() harness.Application { return montageht.New(cfgBase()) },
+		func() harness.Application { return montageht.NewLockFree(cfgBase()) },
+	} {
+		apptest.CrashConsistent(t, mk, smallWorkload(3), 0)
+	}
+}
+
+func TestBuggyMontageExposed(t *testing.T) {
+	// Both §6.4 Montage bugs are active under MontageBuggy; fault
+	// injection must expose at least one inconsistent crash state.
+	cfg := cfgBase()
+	cfg.MontageBuggy = true
+	mk := func() harness.Application { return montageht.New(cfg) }
+	apptest.ExposesBug(t, mk, smallWorkload(4), 0)
+}
+
+func TestBuggyMontageExposedLockFree(t *testing.T) {
+	cfg := cfgBase()
+	cfg.MontageBuggy = true
+	mk := func() harness.Application { return montageht.NewLockFree(cfg) }
+	apptest.ExposesBug(t, mk, smallWorkload(5), 0)
+}

@@ -1,0 +1,479 @@
+// Package pmemkv reimplements the two pmemkv storage engines used in the
+// scalability evaluation (§6.3): cmap, a transactional chained hash map,
+// and stree, a sorted persistent list whose skip index lives in volatile
+// memory and is rebuilt on open.
+package pmemkv
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+const (
+	cmapBuckets = 512
+
+	nodeKey  = 0x00
+	nodeVal  = 0x08
+	nodeNext = 0x10
+	nodeSize = 0x20
+
+	rootTable = 0x00 // cmap: bucket array; stree: list head node
+	rootCount = 0x08
+	rootSize  = 0x18
+)
+
+// Cmap is the pmemkv cmap engine: every mutation runs in its own
+// undo-log transaction.
+type Cmap struct{ cfg apps.Config }
+
+// NewCmap constructs the cmap engine.
+func NewCmap(cfg apps.Config) *Cmap { return &Cmap{cfg: cfg} }
+
+// Stree is the pmemkv stree engine: a persistent sorted list updated
+// with atomic pointer publication, plus a volatile skip index.
+type Stree struct{ cfg apps.Config }
+
+// NewStree constructs the stree engine.
+func NewStree(cfg apps.Config) *Stree { return &Stree{cfg: cfg} }
+
+func init() {
+	apps.Register("cmap", func(cfg apps.Config) harness.Application { return NewCmap(cfg) })
+	apps.Register("stree", func(cfg apps.Config) harness.Application { return NewStree(cfg) })
+}
+
+func poolSize(cfg apps.Config) int {
+	if cfg.PoolSize != 0 {
+		return cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// --- cmap ---
+
+// Name implements harness.Application.
+func (c *Cmap) Name() string { return "pmemkv-cmap" }
+
+// PoolSize implements harness.Application.
+func (c *Cmap) PoolSize() int { return poolSize(c.cfg) }
+
+// Setup implements harness.Application.
+func (c *Cmap) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, c.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	table, err := p.AllocZeroed(8 * cmapBuckets)
+	if err != nil {
+		return err
+	}
+	p.Persist(table, 8*cmapBuckets)
+	e.Store64(p.Root()+rootTable, table)
+	e.Store64(p.Root()+rootCount, 0)
+	p.Persist(p.Root(), 16)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (c *Cmap) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, c.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &cmapKV{p: p}, nil
+}
+
+// Run implements harness.Application.
+func (c *Cmap) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := c.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application.
+func (c *Cmap) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, c.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return (&cmapKV{p: p}).validate()
+}
+
+type cmapKV struct{ p *pmdk.Pool }
+
+func (m *cmapKV) e() *pmem.Engine { return m.p.Engine() }
+
+func mix(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	return key
+}
+
+func (m *cmapKV) bucket(key uint64) uint64 {
+	return m.e().Load64(m.p.Root()+rootTable) + 8*(mix(key)%cmapBuckets)
+}
+
+func (m *cmapKV) find(key uint64) (prev, node uint64) {
+	e := m.e()
+	n := e.Load64(m.bucket(key))
+	for n != 0 && e.Load64(n+nodeKey) != key {
+		prev, n = n, e.Load64(n+nodeNext)
+	}
+	return prev, n
+}
+
+// Get implements harness.KV.
+func (m *cmapKV) Get(key uint64) (uint64, bool, error) {
+	_, n := m.find(key)
+	if n == 0 {
+		return 0, false, nil
+	}
+	return m.e().Load64(n + nodeVal), true, nil
+}
+
+// Put implements harness.KV.
+func (m *cmapKV) Put(key, val uint64) error {
+	e := m.e()
+	tx, err := m.p.Begin()
+	if err != nil {
+		return err
+	}
+	_, n := m.find(key)
+	if n != 0 {
+		if err := tx.Store64(n+nodeVal, val); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	node, err := m.p.AllocZeroed(nodeSize)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	bucket := m.bucket(key)
+	if err := tx.AddRange(node, nodeSize); err != nil {
+		tx.Abort()
+		return err
+	}
+	e.Store64(node+nodeKey, key)
+	e.Store64(node+nodeVal, val)
+	e.Store64(node+nodeNext, e.Load64(bucket))
+	if err := tx.Store64(bucket, node); err != nil {
+		tx.Abort()
+		return err
+	}
+	cnt := m.p.Root() + rootCount
+	if err := tx.Store64(cnt, e.Load64(cnt)+1); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Delete implements harness.KV.
+func (m *cmapKV) Delete(key uint64) error {
+	e := m.e()
+	tx, err := m.p.Begin()
+	if err != nil {
+		return err
+	}
+	prev, n := m.find(key)
+	if n == 0 {
+		return tx.Commit()
+	}
+	next := e.Load64(n + nodeNext)
+	target := m.bucket(key)
+	if prev != 0 {
+		target = prev + nodeNext
+	}
+	if err := tx.Store64(target, next); err != nil {
+		tx.Abort()
+		return err
+	}
+	cnt := m.p.Root() + rootCount
+	if err := tx.Store64(cnt, e.Load64(cnt)-1); err != nil {
+		tx.Abort()
+		return err
+	}
+	tx.FreeOnCommit(n, nodeSize)
+	return tx.Commit()
+}
+
+func (m *cmapKV) validate() error {
+	e := m.e()
+	table := e.Load64(m.p.Root() + rootTable)
+	count := e.Load64(m.p.Root() + rootCount)
+	if table == 0 && count == 0 {
+		return nil
+	}
+	size := uint64(e.Size())
+	if table == 0 || table+8*cmapBuckets > size {
+		return fmt.Errorf("cmap: table offset invalid")
+	}
+	var reachable uint64
+	for b := uint64(0); b < cmapBuckets; b++ {
+		n := e.Load64(table + 8*b)
+		steps := uint64(0)
+		for n != 0 {
+			if n%16 != 0 || n+nodeSize > size {
+				return fmt.Errorf("cmap: node 0x%x out of bounds", n)
+			}
+			if mix(e.Load64(n+nodeKey))%cmapBuckets != b {
+				return fmt.Errorf("cmap: key %d in wrong bucket", e.Load64(n+nodeKey))
+			}
+			reachable++
+			if steps++; steps > count+8 {
+				return fmt.Errorf("cmap: chain cycle in bucket %d", b)
+			}
+			n = e.Load64(n + nodeNext)
+		}
+	}
+	if reachable != count {
+		return fmt.Errorf("cmap: count=%d but %d reachable", count, reachable)
+	}
+	return nil
+}
+
+// --- stree ---
+
+// Name implements harness.Application.
+func (s *Stree) Name() string { return "pmemkv-stree" }
+
+// PoolSize implements harness.Application.
+func (s *Stree) PoolSize() int { return poolSize(s.cfg) }
+
+// Setup implements harness.Application.
+func (s *Stree) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, s.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	e.Store64(p.Root()+rootTable, 0) // empty list
+	e.Store64(p.Root()+rootCount, 0)
+	p.Persist(p.Root(), 16)
+	return nil
+}
+
+// Open implements harness.KVApplication: walk the persistent bottom list
+// and rebuild the volatile skip index.
+func (s *Stree) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, s.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	kv := &streeKV{p: p}
+	kv.rebuildIndex()
+	return kv, nil
+}
+
+// Run implements harness.Application.
+func (s *Stree) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := s.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application.
+func (s *Stree) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, s.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return (&streeKV{p: p}).validate()
+}
+
+type streeKV struct {
+	p *pmdk.Pool
+	// index is the volatile skip index: a sampled subset of nodes in
+	// key order, rebuilt on open.
+	index []indexEntry
+}
+
+type indexEntry struct {
+	key  uint64
+	node uint64
+}
+
+const indexStride = 16
+
+func (t *streeKV) e() *pmem.Engine { return t.p.Engine() }
+func (t *streeKV) head() uint64    { return t.e().Load64(t.p.Root() + rootTable) }
+
+func (t *streeKV) rebuildIndex() {
+	t.index = t.index[:0]
+	e := t.e()
+	i := 0
+	for n := t.head(); n != 0; n = e.Load64(n + nodeNext) {
+		if i%indexStride == 0 {
+			t.index = append(t.index, indexEntry{key: e.Load64(n + nodeKey), node: n})
+		}
+		i++
+	}
+}
+
+// seek returns the last indexed node with key <= target (or 0).
+func (t *streeKV) seek(key uint64) uint64 {
+	lo, hi := 0, len(t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.index[mid].key <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return t.index[lo-1].node
+}
+
+// locate returns (prev, node) where node holds key, or node == 0 with
+// prev being the insertion predecessor. When the index-sampled start
+// node is the match itself the walk restarts from the head, so prev is
+// always the true list predecessor.
+func (t *streeKV) locate(key uint64) (prev, node uint64) {
+	e := t.e()
+	start := t.seek(key)
+	if start == 0 || e.Load64(start+nodeKey) >= key {
+		// No usable sample, or the sample is at/past the key (it may
+		// even be the key): walk from the head.
+		start = t.head()
+	}
+	prev = 0
+	for n := start; n != 0; n = e.Load64(n + nodeNext) {
+		k := e.Load64(n + nodeKey)
+		if k == key {
+			return prev, n
+		}
+		if k > key {
+			return prev, 0
+		}
+		prev = n
+	}
+	return prev, 0
+}
+
+// Get implements harness.KV.
+func (t *streeKV) Get(key uint64) (uint64, bool, error) {
+	_, n := t.locate(key)
+	if n == 0 {
+		return 0, false, nil
+	}
+	return t.e().Load64(n + nodeVal), true, nil
+}
+
+// Put implements harness.KV: persist the node, then publish it with one
+// atomic pointer store; the count follows the insert.
+func (t *streeKV) Put(key, val uint64) error {
+	e := t.e()
+	prev, n := t.locate(key)
+	if n != 0 {
+		e.Store64(n+nodeVal, val)
+		t.p.Persist(n+nodeVal, 8)
+		return nil
+	}
+	node, err := t.p.AllocZeroed(nodeSize)
+	if err != nil {
+		return err
+	}
+	slot := t.p.Root() + rootTable
+	next := t.head()
+	if prev != 0 {
+		slot = prev + nodeNext
+		next = e.Load64(prev + nodeNext)
+	}
+	e.Store64(node+nodeKey, key)
+	e.Store64(node+nodeVal, val)
+	e.Store64(node+nodeNext, next)
+	t.p.Persist(node, nodeSize)
+	e.Store64(slot, node)
+	t.p.Persist(slot, 8)
+	cnt := t.p.Root() + rootCount
+	e.Store64(cnt, e.Load64(cnt)+1)
+	t.p.Persist(cnt, 8)
+	if int(e.Load64(cnt))%indexStride == 0 {
+		t.rebuildIndex()
+	}
+	return nil
+}
+
+// Delete implements harness.KV: count first, then one atomic unlink.
+func (t *streeKV) Delete(key uint64) error {
+	e := t.e()
+	prev, n := t.locate(key)
+	if n == 0 {
+		return nil
+	}
+	cnt := t.p.Root() + rootCount
+	e.Store64(cnt, e.Load64(cnt)-1)
+	t.p.Persist(cnt, 8)
+	slot := t.p.Root() + rootTable
+	if prev != 0 {
+		slot = prev + nodeNext
+	}
+	e.Store64(slot, e.Load64(n+nodeNext))
+	t.p.Persist(slot, 8)
+	// The node leaks rather than being freed: freeing would clobber it
+	// while a stale index entry might still reference it; the leak is
+	// reclaimed on the next open. (pmemkv's stree makes the same
+	// trade-off with its lazy garbage collection.)
+	t.rebuildIndex()
+	return nil
+}
+
+func (t *streeKV) validate() error {
+	e := t.e()
+	count := e.Load64(t.p.Root() + rootCount)
+	size := uint64(e.Size())
+	var reachable uint64
+	var last uint64
+	first := true
+	for n := t.head(); n != 0; n = e.Load64(n + nodeNext) {
+		if n%16 != 0 || n+nodeSize > size {
+			return fmt.Errorf("stree: node 0x%x out of bounds", n)
+		}
+		k := e.Load64(n + nodeKey)
+		if !first && k <= last {
+			return fmt.Errorf("stree: list unsorted at key %d", k)
+		}
+		first = false
+		last = k
+		reachable++
+		if reachable > count+8 {
+			return fmt.Errorf("stree: list longer than count %d permits (cycle?)", count)
+		}
+	}
+	switch {
+	case reachable == count:
+		return nil
+	case reachable == count+1:
+		e.Store64(t.p.Root()+rootCount, reachable)
+		t.p.Persist(t.p.Root()+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("stree: count=%d but %d reachable", count, reachable)
+	}
+}
+
+var (
+	_ harness.KVApplication = (*Cmap)(nil)
+	_ harness.KVApplication = (*Stree)(nil)
+)

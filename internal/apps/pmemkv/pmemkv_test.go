@@ -1,0 +1,42 @@
+package pmemkv_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/pmemkv"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 2 << 20} }
+
+func smallWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 250, Seed: seed, Keyspace: 100})
+}
+
+func TestCmapSemantics(t *testing.T) {
+	apptest.KVSemantics(t, pmemkv.NewCmap(cfgBase()), smallWorkload(1))
+}
+
+func TestStreeSemantics(t *testing.T) {
+	apptest.KVSemantics(t, pmemkv.NewStree(cfgBase()), smallWorkload(2))
+}
+
+func TestStreeSemanticsLarge(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 5000, Seed: 3, Keyspace: 1500})
+	cfg := cfgBase()
+	cfg.PoolSize = 16 << 20
+	apptest.KVSemantics(t, pmemkv.NewStree(cfg), w)
+}
+
+func TestCmapCrashConsistent(t *testing.T) {
+	mk := func() harness.Application { return pmemkv.NewCmap(cfgBase()) }
+	apptest.CrashConsistent(t, mk, smallWorkload(4), 0)
+}
+
+func TestStreeCrashConsistent(t *testing.T) {
+	mk := func() harness.Application { return pmemkv.NewStree(cfgBase()) }
+	apptest.CrashConsistent(t, mk, smallWorkload(5), 0)
+}

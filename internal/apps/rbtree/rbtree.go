@@ -1,0 +1,530 @@
+// Package rbtree reimplements PMDK's libpmemobj rbtree example data
+// store: a persistent red-black tree whose mutations run inside undo-log
+// transactions. Deletion splices without rebalancing (black-height is
+// not preserved), as several persistent red-black variants do; the
+// recovery validation checks ordering, colour constraints, parent links
+// and the element count.
+//
+// Bug knobs: two seeded correctness defects (fault injection) and eight
+// numbered performance defects (rbtree/pf-01..pf-08, trace analysis).
+package rbtree
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/perfbug"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Seeded bug identifiers.
+const (
+	// BugRotateMissingAddRange omits the undo-log registration of the
+	// pointer writes performed by rotations.
+	BugRotateMissingAddRange bugs.ID = "rbtree/rotate-missing-addrange"
+	// BugCountOutsideTx maintains the element count with a
+	// non-transactional persisted store.
+	BugCountOutsideTx bugs.ID = "rbtree/count-outside-tx"
+)
+
+const (
+	red   = 1
+	black = 0
+
+	nodeKey    = 0x00
+	nodeVal    = 0x08
+	nodeColor  = 0x10
+	nodeLeft   = 0x18
+	nodeRight  = 0x20
+	nodeParent = 0x28
+	nodeSize   = 0x30
+
+	rootTree  = 0x00
+	rootCount = 0x08
+	rootStats = 0x40 // own cache line: never flushed by design
+	rootSize  = 0x80
+)
+
+// App is the rbtree data store.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("rbtree", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string {
+	if a.cfg.SPT {
+		return "rbtree-spt"
+	}
+	return "rbtree"
+}
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	e.Store64(p.Root()+rootTree, 0)
+	e.Store64(p.Root()+rootCount, 0)
+	p.Persist(p.Root(), 16)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &tree{p: p, cfg: a.cfg}, nil
+}
+
+// Run implements harness.Application (batch transaction unless SPT).
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	t := kv.(*tree)
+	if !a.cfg.SPT {
+		tx, err := t.p.Begin()
+		if err != nil {
+			return err
+		}
+		t.batch = tx
+		defer func() { t.batch = nil }()
+		if err := harness.RunKV(t, w); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	return harness.RunKV(t, w)
+}
+
+// Recover implements harness.Application.
+func (a *App) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	t := &tree{p: p, cfg: a.cfg}
+	return t.validate()
+}
+
+type tree struct {
+	p     *pmdk.Pool
+	cfg   apps.Config
+	batch *pmdk.Tx
+}
+
+func (t *tree) e() *pmem.Engine { return t.p.Engine() }
+func (t *tree) root() uint64    { return t.p.Root() }
+
+func (t *tree) update(f func(tx *pmdk.Tx) error) error {
+	if t.batch != nil {
+		return f(t.batch)
+	}
+	tx, err := t.p.Begin()
+	if err != nil {
+		return err
+	}
+	if err := f(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (t *tree) key(n uint64) uint64    { return t.e().Load64(n + nodeKey) }
+func (t *tree) val(n uint64) uint64    { return t.e().Load64(n + nodeVal) }
+func (t *tree) color(n uint64) uint64  { return t.e().Load64(n + nodeColor) }
+func (t *tree) left(n uint64) uint64   { return t.e().Load64(n + nodeLeft) }
+func (t *tree) right(n uint64) uint64  { return t.e().Load64(n + nodeRight) }
+func (t *tree) parent(n uint64) uint64 { return t.e().Load64(n + nodeParent) }
+
+// addNode registers a node with the undo log. Under the rotation bug the
+// developer "persisted instead of logging": rotation writes skip the
+// undo log and are made durable directly, so a crash that rolls the
+// transaction back leaves the rotated pointers in place — the classic
+// pmem_persist-where-tx_add_range-was-needed mistake.
+func (t *tree) addNode(tx *pmdk.Tx, n uint64, rotation bool) error {
+	if rotation && t.cfg.Bugs.Has(BugRotateMissingAddRange) {
+		// BUG: flush the node as-is instead of snapshotting it. The
+		// persist also creates a failure point inside the rotation
+		// window itself.
+		t.p.Persist(n, nodeSize)
+		return nil
+	}
+	return tx.AddRange(n, nodeSize)
+}
+
+// Get implements harness.KV.
+func (t *tree) Get(key uint64) (uint64, bool, error) {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "rbtree", 4, 6, 0, t.root()+rootStats)
+	n := t.e().Load64(t.root() + rootTree)
+	for n != 0 {
+		switch k := t.key(n); {
+		case key == k:
+			return t.val(n), true, nil
+		case key < k:
+			n = t.left(n)
+		default:
+			n = t.right(n)
+		}
+	}
+	return 0, false, nil
+}
+
+// Put implements harness.KV.
+func (t *tree) Put(key, val uint64) error {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "rbtree", 1, 3, 0, t.root()+rootStats)
+	return t.update(func(tx *pmdk.Tx) error {
+		// Standard BST descent.
+		var parent uint64
+		n := t.e().Load64(t.root() + rootTree)
+		for n != 0 {
+			k := t.key(n)
+			if key == k {
+				return tx.Store64(n+nodeVal, val) // overwrite
+			}
+			parent = n
+			if key < k {
+				n = t.left(n)
+			} else {
+				n = t.right(n)
+			}
+		}
+		node, err := t.p.AllocZeroed(nodeSize)
+		if err != nil {
+			return err
+		}
+		if err := tx.AddRange(node, nodeSize); err != nil {
+			return err
+		}
+		e := t.e()
+		e.Store64(node+nodeKey, key)
+		e.Store64(node+nodeVal, val)
+		e.Store64(node+nodeColor, red)
+		e.Store64(node+nodeParent, parent)
+		if parent == 0 {
+			if err := tx.Store64(t.root()+rootTree, node); err != nil {
+				return err
+			}
+		} else {
+			side := uint64(nodeRight)
+			if key < t.key(parent) {
+				side = nodeLeft
+			}
+			if err := tx.Store64(parent+side, node); err != nil {
+				return err
+			}
+		}
+		if err := t.fixInsert(tx, node); err != nil {
+			return err
+		}
+		return t.bumpCount(tx, 1)
+	})
+}
+
+func (t *tree) bumpCount(tx *pmdk.Tx, delta uint64) error {
+	addr := t.root() + rootCount
+	cur := t.e().Load64(addr)
+	if t.cfg.Bugs.Has(BugCountOutsideTx) {
+		// BUG: non-transactional persisted count update.
+		t.e().Store64(addr, cur+delta)
+		t.p.Persist(addr, 8)
+		return nil
+	}
+	return tx.Store64(addr, cur+delta)
+}
+
+// fixInsert restores the red-black constraints after inserting node n.
+func (t *tree) fixInsert(tx *pmdk.Tx, n uint64) error {
+	e := t.e()
+	for {
+		p := t.parent(n)
+		if p == 0 {
+			if err := t.addNode(tx, n, false); err != nil {
+				return err
+			}
+			e.Store64(n+nodeColor, black)
+			return nil
+		}
+		if t.color(p) == black {
+			return nil
+		}
+		g := t.parent(p)
+		if g == 0 {
+			if err := t.addNode(tx, p, false); err != nil {
+				return err
+			}
+			e.Store64(p+nodeColor, black)
+			return nil
+		}
+		var uncle uint64
+		if t.left(g) == p {
+			uncle = t.right(g)
+		} else {
+			uncle = t.left(g)
+		}
+		if uncle != 0 && t.color(uncle) == red {
+			for _, m := range []uint64{p, uncle, g} {
+				if err := t.addNode(tx, m, false); err != nil {
+					return err
+				}
+			}
+			e.Store64(p+nodeColor, black)
+			e.Store64(uncle+nodeColor, black)
+			e.Store64(g+nodeColor, red)
+			n = g
+			continue
+		}
+		// Rotation cases.
+		if t.left(g) == p {
+			if t.right(p) == n {
+				if err := t.rotateLeft(tx, p); err != nil {
+					return err
+				}
+				n, p = p, n
+			}
+			if err := t.rotateRight(tx, g); err != nil {
+				return err
+			}
+		} else {
+			if t.left(p) == n {
+				if err := t.rotateRight(tx, p); err != nil {
+					return err
+				}
+				n, p = p, n
+			}
+			if err := t.rotateLeft(tx, g); err != nil {
+				return err
+			}
+		}
+		if err := t.addNode(tx, p, true); err != nil {
+			return err
+		}
+		if err := t.addNode(tx, g, true); err != nil {
+			return err
+		}
+		e.Store64(p+nodeColor, black)
+		e.Store64(g+nodeColor, red)
+		return nil
+	}
+}
+
+// replaceChild points the parent link of old at new.
+func (t *tree) replaceChild(tx *pmdk.Tx, parent, old, new uint64, rotation bool) error {
+	if parent == 0 {
+		if rotation && t.cfg.Bugs.Has(BugRotateMissingAddRange) {
+			t.e().Store64(t.root()+rootTree, new)
+			return nil
+		}
+		return tx.Store64(t.root()+rootTree, new)
+	}
+	side := uint64(nodeRight)
+	if t.left(parent) == old {
+		side = nodeLeft
+	}
+	if err := t.addNode(tx, parent, rotation); err != nil {
+		return err
+	}
+	t.e().Store64(parent+side, new)
+	return nil
+}
+
+func (t *tree) rotateLeft(tx *pmdk.Tx, x uint64) error {
+	e := t.e()
+	y := t.right(x)
+	for _, m := range []uint64{x, y} {
+		if err := t.addNode(tx, m, true); err != nil {
+			return err
+		}
+	}
+	p := t.parent(x)
+	yl := t.left(y)
+	e.Store64(x+nodeRight, yl)
+	if yl != 0 {
+		if err := t.addNode(tx, yl, true); err != nil {
+			return err
+		}
+		e.Store64(yl+nodeParent, x)
+	}
+	if err := t.replaceChild(tx, p, x, y, true); err != nil {
+		return err
+	}
+	e.Store64(y+nodeParent, p)
+	e.Store64(y+nodeLeft, x)
+	e.Store64(x+nodeParent, y)
+	return nil
+}
+
+func (t *tree) rotateRight(tx *pmdk.Tx, x uint64) error {
+	e := t.e()
+	y := t.left(x)
+	for _, m := range []uint64{x, y} {
+		if err := t.addNode(tx, m, true); err != nil {
+			return err
+		}
+	}
+	p := t.parent(x)
+	yr := t.right(y)
+	e.Store64(x+nodeLeft, yr)
+	if yr != 0 {
+		if err := t.addNode(tx, yr, true); err != nil {
+			return err
+		}
+		e.Store64(yr+nodeParent, x)
+	}
+	if err := t.replaceChild(tx, p, x, y, true); err != nil {
+		return err
+	}
+	e.Store64(y+nodeParent, p)
+	e.Store64(y+nodeRight, x)
+	e.Store64(x+nodeParent, y)
+	return nil
+}
+
+// Delete implements harness.KV: BST splice without rebalancing; spliced
+// children are painted black to preserve the no-red-red invariant.
+func (t *tree) Delete(key uint64) error {
+	perfbug.ApplyN(t.e(), t.cfg.Bugs, "rbtree", 7, 8, 0, t.root()+rootStats)
+	return t.update(func(tx *pmdk.Tx) error {
+		e := t.e()
+		n := e.Load64(t.root() + rootTree)
+		for n != 0 && t.key(n) != key {
+			if key < t.key(n) {
+				n = t.left(n)
+			} else {
+				n = t.right(n)
+			}
+		}
+		if n == 0 {
+			return nil
+		}
+		// Two children: swap in the successor's key/value, then splice
+		// the successor.
+		if t.left(n) != 0 && t.right(n) != 0 {
+			s := t.right(n)
+			for t.left(s) != 0 {
+				s = t.left(s)
+			}
+			if err := t.addNode(tx, n, false); err != nil {
+				return err
+			}
+			e.Store64(n+nodeKey, t.key(s))
+			e.Store64(n+nodeVal, t.val(s))
+			n = s
+		}
+		child := t.left(n)
+		if child == 0 {
+			child = t.right(n)
+		}
+		if err := t.replaceChild(tx, t.parent(n), n, child, false); err != nil {
+			return err
+		}
+		if child != 0 {
+			if err := t.addNode(tx, child, false); err != nil {
+				return err
+			}
+			e.Store64(child+nodeParent, t.parent(n))
+			e.Store64(child+nodeColor, black)
+		}
+		tx.FreeOnCommit(n, nodeSize)
+		addr := t.root() + rootCount
+		cur := e.Load64(addr)
+		if t.cfg.Bugs.Has(BugCountOutsideTx) {
+			e.Store64(addr, cur-1)
+			t.p.Persist(addr, 8)
+			return nil
+		}
+		return tx.Store64(addr, cur-1)
+	})
+}
+
+// validate checks order, colours, parent links, bounds and count.
+func (t *tree) validate() error {
+	rootOff := t.e().Load64(t.root() + rootTree)
+	count := t.e().Load64(t.root() + rootCount)
+	if rootOff == 0 {
+		if count != 0 {
+			return fmt.Errorf("rbtree: empty tree but count=%d", count)
+		}
+		return nil
+	}
+	if t.color(rootOff) != black {
+		return fmt.Errorf("rbtree: red root")
+	}
+	var reachable uint64
+	var walk func(n, parent uint64, lo, hi uint64, haveLo, haveHi bool) error
+	walk = func(n, parent, lo, hi uint64, haveLo, haveHi bool) error {
+		if n == 0 {
+			return nil
+		}
+		if n%16 != 0 || n+nodeSize > uint64(t.e().Size()) {
+			return fmt.Errorf("rbtree: node offset 0x%x out of bounds", n)
+		}
+		reachable++
+		if reachable > count+8 {
+			return fmt.Errorf("rbtree: more nodes reachable than count %d permits (cycle?)", count)
+		}
+		if t.parent(n) != parent {
+			return fmt.Errorf("rbtree: node 0x%x parent link broken", n)
+		}
+		k := t.key(n)
+		if haveLo && k <= lo {
+			return fmt.Errorf("rbtree: order violation at key %d", k)
+		}
+		if haveHi && k >= hi {
+			return fmt.Errorf("rbtree: order violation at key %d", k)
+		}
+		if t.color(n) == red {
+			if l := t.left(n); l != 0 && t.color(l) == red {
+				return fmt.Errorf("rbtree: red-red violation below key %d", k)
+			}
+			if r := t.right(n); r != 0 && t.color(r) == red {
+				return fmt.Errorf("rbtree: red-red violation below key %d", k)
+			}
+		}
+		if err := walk(t.left(n), n, lo, k, haveLo, true); err != nil {
+			return err
+		}
+		return walk(t.right(n), n, k, hi, true, haveHi)
+	}
+	if err := walk(rootOff, 0, 0, 0, false, false); err != nil {
+		return err
+	}
+	switch {
+	case reachable == count:
+		return nil
+	case reachable == count+1:
+		t.e().Store64(t.root()+rootCount, reachable)
+		t.p.Persist(t.root()+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("rbtree: count=%d but %d nodes reachable", count, reachable)
+	}
+}
+
+var _ harness.KVApplication = (*App)(nil)

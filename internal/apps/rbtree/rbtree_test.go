@@ -1,0 +1,61 @@
+package rbtree_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/rbtree"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{SPT: true, PoolSize: 1 << 20} }
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return rbtree.New(cfg) }
+}
+
+func smallWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 120, Seed: seed, Keyspace: 40})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, rbtree.New(cfgBase()), smallWorkload(1))
+}
+
+func TestDeepSemantics(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 4000, Seed: 9, Keyspace: 2000})
+	cfg := apps.Config{SPT: true, PoolSize: 4 << 20}
+	apptest.KVSemantics(t, rbtree.New(cfg), w)
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(cfgBase()), smallWorkload(2), 160)
+}
+
+func TestCrashConsistentBatchMode(t *testing.T) {
+	cfg := apps.Config{PoolSize: 1 << 20}
+	apptest.CrashConsistent(t, mk(cfg), smallWorkload(3), 120)
+}
+
+func TestSeededCorrectnessBugsAreExposed(t *testing.T) {
+	for _, id := range []bugs.ID{
+		rbtree.BugRotateMissingAddRange,
+		rbtree.BugCountOutsideTx,
+	} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(id)
+			apptest.ExposesBug(t, mk(cfg), smallWorkload(4), 400)
+		})
+	}
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable("rbtree/pf-01", "rbtree/pf-02", "rbtree/pf-03")
+	apptest.CrashConsistent(t, mk(cfg), smallWorkload(5), 120)
+}

@@ -1,0 +1,428 @@
+// Package redis models pmem/redis, the PM-adapted Redis used in the
+// paper's scalability evaluation: a persistent dictionary backed by a
+// persistent append-only operation log. The log is the source of truth —
+// each operation appends a sealed record (record body first, then the
+// persisted head pointer as commit point) before the dictionary is
+// updated in place, and recovery replays the tail of the log to redo at
+// most one dictionary update lost to a crash.
+//
+// Bug knobs: redis/log-seq-early (fault injection),
+// redis/entry-single-fence and redis/index-fused-fence (hidden from
+// program-order prefixes), and redis/pf-01..pf-12 (trace analysis).
+package redis
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/perfbug"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Seeded bug identifiers.
+const (
+	// BugLogSeqEarly persists the advanced log head before the record
+	// body exists.
+	BugLogSeqEarly bugs.ID = "redis/log-seq-early"
+	// BugEntrySingleFence fuses record body and head write-backs under
+	// one fence (hidden from prefixes).
+	BugEntrySingleFence bugs.ID = "redis/entry-single-fence"
+	// BugIndexFusedFence fuses dict node and bucket pointer
+	// write-backs under one fence (hidden from prefixes).
+	BugIndexFusedFence bugs.ID = "redis/index-fused-fence"
+)
+
+const (
+	buckets = 256
+
+	recSeq  = 0x00
+	recKind = 0x08 // 1 = put, 2 = delete
+	recKey  = 0x10
+	recVal  = 0x18
+	recSize = 0x20
+
+	kindPut = 1
+	kindDel = 2
+
+	nodeKey  = 0x00
+	nodeVal  = 0x08
+	nodeNext = 0x10
+	nodeSize = 0x20
+
+	rootTable = 0x00 // u64: bucket array offset
+	rootLogA  = 0x08 // u64: log region start
+	rootLogZ  = 0x10 // u64: log region end
+	rootHead  = 0x18 // u64: next append offset (commit point)
+	rootCount = 0x20 // u64: live keys
+	rootStats = 0x40 // own cache line: never flushed by design
+	rootSize  = 0x80
+)
+
+// ErrLogFull signals an exhausted log region.
+var ErrLogFull = errors.New("redis: append-only log full")
+
+// App is the PM-Redis model.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("redis", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string { return "pm-redis" }
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	table, err := p.AllocZeroed(8 * buckets)
+	if err != nil {
+		return err
+	}
+	p.Persist(table, 8*buckets)
+	// Reserve half the remaining heap for the log.
+	logBytes := (e.Size() - int(table)) / 2
+	logOff, err := p.AllocZeroed(logBytes)
+	if err != nil {
+		return err
+	}
+	r := p.Root()
+	e.Store64(r+rootTable, table)
+	e.Store64(r+rootLogA, logOff)
+	e.Store64(r+rootLogZ, logOff+uint64(logBytes))
+	e.Store64(r+rootHead, logOff)
+	e.Store64(r+rootCount, 0)
+	// The stats scratch line (rootStats) stays unflushed by design.
+	p.Persist(r, rootStats)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &store{p: p, cfg: a.cfg}, nil
+}
+
+// Run implements harness.Application.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application.
+func (a *App) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s := &store{p: p, cfg: a.cfg}
+	return s.validate()
+}
+
+type store struct {
+	p   *pmdk.Pool
+	cfg apps.Config
+}
+
+func (s *store) e() *pmem.Engine { return s.p.Engine() }
+func (s *store) root() uint64    { return s.p.Root() }
+
+func hash(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	return key
+}
+
+func (s *store) bucketAddr(key uint64) uint64 {
+	return s.e().Load64(s.root()+rootTable) + 8*(hash(key)%buckets)
+}
+
+// appendLog seals one record and returns its sequence number.
+func (s *store) appendLog(kind, key, val uint64) error {
+	e := s.e()
+	r := s.root()
+	head := e.Load64(r + rootHead)
+	if head+recSize > e.Load64(r+rootLogZ) {
+		return ErrLogFull
+	}
+	logA := e.Load64(r + rootLogA)
+	seq := (head-logA)/recSize + 1
+
+	if s.cfg.Bugs.Has(BugLogSeqEarly) {
+		// BUG: the commit point moves before the record body exists.
+		e.Store64(r+rootHead, head+recSize)
+		s.p.Persist(r+rootHead, 8)
+		e.Store64(head+recSeq, seq)
+		e.Store64(head+recKind, kind)
+		e.Store64(head+recKey, key)
+		e.Store64(head+recVal, val)
+		s.p.Persist(head, recSize)
+		return nil
+	}
+	e.Store64(head+recSeq, seq)
+	e.Store64(head+recKind, kind)
+	e.Store64(head+recKey, key)
+	e.Store64(head+recVal, val)
+	if s.cfg.Bugs.Has(BugEntrySingleFence) {
+		// BUG (hidden from prefixes): record body and commit point
+		// share one fence.
+		s.p.Flush(head, recSize)
+		e.Store64(r+rootHead, head+recSize)
+		s.p.Flush(r+rootHead, 8)
+		s.p.Drain()
+		return nil
+	}
+	s.p.Persist(head, recSize)
+	e.Store64(r+rootHead, head+recSize)
+	s.p.Persist(r+rootHead, 8)
+	return nil
+}
+
+// Get implements harness.KV.
+func (s *store) Get(key uint64) (uint64, bool, error) {
+	perfbug.ApplyN(s.e(), s.cfg.Bugs, "redis", 5, 8, 0, s.root()+rootStats)
+	e := s.e()
+	n := e.Load64(s.bucketAddr(key))
+	for n != 0 {
+		if e.Load64(n+nodeKey) == key {
+			return e.Load64(n + nodeVal), true, nil
+		}
+		n = e.Load64(n + nodeNext)
+	}
+	return 0, false, nil
+}
+
+// Put implements harness.KV: log first, then the in-place dict update.
+func (s *store) Put(key, val uint64) error {
+	perfbug.ApplyN(s.e(), s.cfg.Bugs, "redis", 1, 4, 0, s.root()+rootStats)
+	if err := s.appendLog(kindPut, key, val); err != nil {
+		return err
+	}
+	return s.applyPut(key, val)
+}
+
+func (s *store) applyPut(key, val uint64) error {
+	e := s.e()
+	bucket := s.bucketAddr(key)
+	for n := e.Load64(bucket); n != 0; n = e.Load64(n + nodeNext) {
+		if e.Load64(n+nodeKey) == key {
+			e.Store64(n+nodeVal, val)
+			s.p.Persist(n+nodeVal, 8)
+			return nil
+		}
+	}
+	node, err := s.p.AllocZeroed(nodeSize)
+	if err != nil {
+		return err
+	}
+	head := e.Load64(bucket)
+	e.Store64(node+nodeKey, key)
+	e.Store64(node+nodeVal, val)
+	e.Store64(node+nodeNext, head)
+	if s.cfg.Bugs.Has(BugIndexFusedFence) {
+		// BUG (hidden from prefixes): node and bucket pointer share
+		// one fence.
+		s.p.Flush(node, nodeSize)
+		e.Store64(bucket, node)
+		s.p.Flush(bucket, 8)
+		s.p.Drain()
+	} else {
+		s.p.Persist(node, nodeSize)
+		e.Store64(bucket, node)
+		s.p.Persist(bucket, 8)
+	}
+	cnt := s.root() + rootCount
+	e.Store64(cnt, e.Load64(cnt)+1)
+	s.p.Persist(cnt, 8)
+	return nil
+}
+
+// Delete implements harness.KV.
+func (s *store) Delete(key uint64) error {
+	perfbug.ApplyN(s.e(), s.cfg.Bugs, "redis", 9, 12, 0, s.root()+rootStats)
+	if _, ok, _ := s.Get(key); !ok {
+		return nil
+	}
+	if err := s.appendLog(kindDel, key, 0); err != nil {
+		return err
+	}
+	return s.applyDelete(key)
+}
+
+func (s *store) applyDelete(key uint64) error {
+	e := s.e()
+	bucket := s.bucketAddr(key)
+	prev := uint64(0)
+	n := e.Load64(bucket)
+	for n != 0 && e.Load64(n+nodeKey) != key {
+		prev, n = n, e.Load64(n+nodeNext)
+	}
+	if n == 0 {
+		return nil
+	}
+	cnt := s.root() + rootCount
+	e.Store64(cnt, e.Load64(cnt)-1)
+	s.p.Persist(cnt, 8)
+	next := e.Load64(n + nodeNext)
+	if prev == 0 {
+		e.Store64(bucket, next)
+		s.p.Persist(bucket, 8)
+	} else {
+		e.Store64(prev+nodeNext, next)
+		s.p.Persist(prev+nodeNext, 8)
+	}
+	s.p.Free(n, nodeSize)
+	return nil
+}
+
+// validate replays the log and reconciles the dictionary against it: the
+// log must be well-formed (monotonic sequence numbers, valid kinds), and
+// the dictionary may lag the log by at most the final record, which
+// recovery redoes — any other divergence is data loss or corruption.
+func (s *store) validate() error {
+	e := s.e()
+	r := s.root()
+	table := e.Load64(r + rootTable)
+	logA := e.Load64(r + rootLogA)
+	logZ := e.Load64(r + rootLogZ)
+	head := e.Load64(r + rootHead)
+	count := e.Load64(r + rootCount)
+	if table == 0 && count == 0 && head == 0 {
+		return nil // root never initialised
+	}
+	size := uint64(e.Size())
+	if table == 0 || table+8*buckets > size || logA == 0 || logZ > size ||
+		head < logA || head > logZ || (head-logA)%recSize != 0 {
+		return fmt.Errorf("redis: root metadata invalid")
+	}
+	// Replay the log.
+	want := map[uint64]uint64{}
+	var seq uint64
+	for off := logA; off < head; off += recSize {
+		seq++
+		if e.Load64(off+recSeq) != seq {
+			return fmt.Errorf("redis: log record %d has sequence %d", seq, e.Load64(off+recSeq))
+		}
+		key := e.Load64(off + recKey)
+		switch e.Load64(off + recKind) {
+		case kindPut:
+			want[key] = e.Load64(off + recVal)
+		case kindDel:
+			delete(want, key)
+		default:
+			return fmt.Errorf("redis: log record %d has invalid kind %d", seq, e.Load64(off+recKind))
+		}
+	}
+	// Collect the dictionary state.
+	got := map[uint64]uint64{}
+	for b := uint64(0); b < buckets; b++ {
+		n := e.Load64(table + 8*b)
+		steps := uint64(0)
+		for n != 0 {
+			if n%16 != 0 || n+nodeSize > size {
+				return fmt.Errorf("redis: dict node 0x%x out of bounds", n)
+			}
+			key := e.Load64(n + nodeKey)
+			if hash(key)%buckets != b {
+				return fmt.Errorf("redis: key %d in wrong bucket %d", key, b)
+			}
+			if _, dup := got[key]; dup {
+				return fmt.Errorf("redis: key %d appears twice in the dict", key)
+			}
+			got[key] = e.Load64(n + nodeVal)
+			if steps++; steps > count+16 {
+				return fmt.Errorf("redis: bucket %d chain too long (cycle?)", b)
+			}
+			n = e.Load64(n + nodeNext)
+		}
+	}
+	// The dict may lag the log by exactly the final record.
+	if err := s.reconcile(want, got, logA, head); err != nil {
+		return err
+	}
+	// Reconcile the live-key count (the final record's dict update may
+	// also have been cut between count and link updates). Re-read it:
+	// the redo above maintains it too.
+	count = e.Load64(r + rootCount)
+	live := uint64(len(want))
+	switch {
+	case count == live:
+		return nil
+	case count+1 == live || count == live+1:
+		e.Store64(r+rootCount, live)
+		s.p.Persist(r+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("redis: count=%d but log implies %d live keys", count, live)
+	}
+}
+
+// reconcile checks got == want modulo the effect of the final record,
+// which it redoes when missing.
+func (s *store) reconcile(want, got map[uint64]uint64, logA, head uint64) error {
+	e := s.e()
+	var lastKey uint64
+	haveLast := false
+	if head > logA {
+		lastKey = e.Load64(head - recSize + recKey)
+		haveLast = true
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if ok && gv == wv {
+			continue
+		}
+		if haveLast && k == lastKey {
+			// Redo the final put.
+			if err := s.applyPut(k, wv); err != nil {
+				return err
+			}
+			continue
+		}
+		return fmt.Errorf("redis: key %d is (%d,%v) in dict but log says %d", k, gv, ok, wv)
+	}
+	for k := range got {
+		if _, ok := want[k]; ok {
+			continue
+		}
+		if haveLast && k == lastKey {
+			// Redo the final delete.
+			if err := s.applyDelete(k); err != nil {
+				return err
+			}
+			continue
+		}
+		return fmt.Errorf("redis: key %d in dict but deleted per log", k)
+	}
+	return nil
+}
+
+var _ harness.KVApplication = (*App)(nil)

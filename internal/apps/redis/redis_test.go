@@ -1,0 +1,60 @@
+package redis_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/redis"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 4 << 20} }
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return redis.New(cfg) }
+}
+
+func smallWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 250, Seed: seed, Keyspace: 100})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, redis.New(cfgBase()), smallWorkload(1))
+}
+
+func TestSemanticsLarge(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 6000, Seed: 2, Keyspace: 2000})
+	cfg := cfgBase()
+	cfg.PoolSize = 16 << 20
+	apptest.KVSemantics(t, redis.New(cfg), w)
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(cfgBase()), smallWorkload(3), 0)
+}
+
+func TestLogSeqEarlyExposed(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable(redis.BugLogSeqEarly)
+	apptest.ExposesBug(t, mk(cfg), smallWorkload(4), 0)
+}
+
+func TestFusedFenceBugsHiddenFromPrefix(t *testing.T) {
+	for _, id := range []bugs.ID{redis.BugEntrySingleFence, redis.BugIndexFusedFence} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(id)
+			apptest.HiddenFromPrefix(t, mk(cfg), smallWorkload(5), 0)
+		})
+	}
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable("redis/pf-01", "redis/pf-02", "redis/pf-03")
+	apptest.CrashConsistent(t, mk(cfg), smallWorkload(6), 0)
+}

@@ -1,0 +1,106 @@
+package apps_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	_ "mumak/internal/apps/art"
+	_ "mumak/internal/apps/btree"
+	_ "mumak/internal/apps/cceh"
+	_ "mumak/internal/apps/fastfair"
+	_ "mumak/internal/apps/hashatomic"
+	_ "mumak/internal/apps/levelhash"
+	_ "mumak/internal/apps/montageht"
+	_ "mumak/internal/apps/pmemkv"
+	_ "mumak/internal/apps/rbtree"
+	_ "mumak/internal/apps/redis"
+	_ "mumak/internal/apps/rocksdb"
+	_ "mumak/internal/apps/wort"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgFor(name string) apps.Config {
+	return apps.Config{SPT: true, PoolSize: 8 << 20, WithRecovery: true}
+}
+
+func TestRegistryHasAllTargets(t *testing.T) {
+	want := []string{
+		"art", "btree", "cceh", "cmap", "fastfair", "hashmap", "levelhash",
+		"montage-hashtable", "montage-lfhashtable", "rbtree", "redis",
+		"rocksdb", "stree", "wort",
+	}
+	got := apps.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d targets, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnknownTargetErrors(t *testing.T) {
+	if _, err := apps.New("nope", apps.Config{}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+// Every registered target is a key-value application with correct
+// semantics under the standard mixed workload.
+func TestAllTargetsKVSemantics(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 400, Seed: 99, Keyspace: 150})
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, err := apps.New(name, cfgFor(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			kvApp, ok := app.(harness.KVApplication)
+			if !ok {
+				t.Fatalf("%s does not expose KV semantics", name)
+			}
+			apptest.KVSemantics(t, kvApp, w)
+		})
+	}
+}
+
+// Every registered target survives crash injection at every unique
+// failure point under a zipfian (YCSB-style) workload — hot keys stress
+// the in-place-update paths harder than the uniform mix does.
+func TestAllTargetsCrashConsistentUnderZipfian(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-registry crash probing is slow")
+	}
+	w := workload.Generate(workload.Config{N: 250, Seed: 7, Keyspace: 120, Dist: workload.Zipfian})
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mk := func() harness.Application {
+				app, err := apps.New(name, cfgFor(name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return app
+			}
+			apptest.CrashConsistent(t, mk, w, 120)
+		})
+	}
+}
+
+// Every bug ID in the registry belongs to a registered application.
+func TestRegistryBugAppsExist(t *testing.T) {
+	registered := map[string]bool{}
+	for _, n := range apps.Names() {
+		registered[n] = true
+	}
+	for _, b := range bugs.Registry {
+		if !registered[b.App] {
+			t.Errorf("bug %s references unregistered app %q", b.ID, b.App)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package rocksdb models pmem/rocksdb for the scalability evaluation
+// (§6.3): a volatile memtable in front of a persistent write-ahead log,
+// periodically checkpointed into a sorted segment written with
+// non-temporal stores. The segment pointer switch is the atomic commit
+// of a checkpoint; the WAL truncation follows, and replaying a stale WAL
+// over a fresh segment is idempotent.
+package rocksdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mumak/internal/apps"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+const (
+	recSeq  = 0x00
+	recKind = 0x08
+	recKey  = 0x10
+	recVal  = 0x18
+	recSize = 0x20
+
+	kindPut = 1
+	kindDel = 2
+
+	// Segment layout: {n u64, entries: n * {key u64, val u64}}.
+	segN     = 0x00
+	segData  = 0x08
+	segEntry = 16
+
+	rootWalA  = 0x00
+	rootWalZ  = 0x08
+	rootWalHd = 0x10 // commit point of the newest WAL record
+	rootSeg   = 0x18 // current checkpoint segment (0 = none)
+	rootStats = 0x40 // own cache line: never flushed by design
+	rootSize  = 0x80
+
+	// flushEvery is the memtable checkpoint interval in mutations.
+	flushEvery = 256
+)
+
+// ErrWalFull signals WAL exhaustion between checkpoints.
+var ErrWalFull = errors.New("rocksdb: write-ahead log full")
+
+// App is the PM-RocksDB model.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("rocksdb", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string { return "pm-rocksdb" }
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 128 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	walBytes := flushEvery * 2 * recSize
+	wal, err := p.AllocZeroed(walBytes)
+	if err != nil {
+		return err
+	}
+	r := p.Root()
+	e.Store64(r+rootWalA, wal)
+	e.Store64(r+rootWalZ, wal+uint64(walBytes))
+	e.Store64(r+rootWalHd, wal)
+	e.Store64(r+rootSeg, 0)
+	// The stats scratch line (rootStats) stays unflushed by design.
+	p.Persist(r, rootStats)
+	return nil
+}
+
+// Open implements harness.KVApplication: rebuild the memtable from the
+// checkpoint segment plus the WAL tail.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	db := &store{p: p, mem: map[uint64]uint64{}}
+	if err := db.replay(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Run implements harness.Application.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application: the replay itself is the
+// recovery procedure; it fails on malformed WAL records or segments.
+func (a *App) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	db := &store{p: p, mem: map[uint64]uint64{}}
+	return db.replay()
+}
+
+type store struct {
+	p    *pmdk.Pool
+	mem  map[uint64]uint64
+	muts int
+	// oldSegs tracks segments to free after the next checkpoint.
+	oldSeg uint64
+}
+
+func (s *store) e() *pmem.Engine { return s.p.Engine() }
+func (s *store) root() uint64    { return s.p.Root() }
+
+// replay rebuilds the memtable: checkpoint segment first, then the WAL
+// tail, validating both.
+func (s *store) replay() error {
+	e := s.e()
+	r := s.root()
+	walA := e.Load64(r + rootWalA)
+	walZ := e.Load64(r + rootWalZ)
+	head := e.Load64(r + rootWalHd)
+	seg := e.Load64(r + rootSeg)
+	size := uint64(e.Size())
+	if walA == 0 && head == 0 {
+		return nil // root never initialised
+	}
+	if walA == 0 || walZ > size || head < walA || head > walZ || (head-walA)%recSize != 0 {
+		return fmt.Errorf("rocksdb: WAL metadata invalid")
+	}
+	if seg != 0 {
+		if seg+segData > size {
+			return fmt.Errorf("rocksdb: segment 0x%x out of bounds", seg)
+		}
+		n := e.Load64(seg + segN)
+		if seg+segData+n*segEntry > size {
+			return fmt.Errorf("rocksdb: segment 0x%x length %d out of bounds", seg, n)
+		}
+		var last uint64
+		for i := uint64(0); i < n; i++ {
+			k := e.Load64(seg + segData + i*segEntry)
+			if i > 0 && k <= last {
+				return fmt.Errorf("rocksdb: segment unsorted at entry %d", i)
+			}
+			last = k
+			s.mem[k] = e.Load64(seg + segData + i*segEntry + 8)
+		}
+	}
+	var seq uint64
+	for off := walA; off < head; off += recSize {
+		seq++
+		if e.Load64(off+recSeq) != seq {
+			return fmt.Errorf("rocksdb: WAL record %d has sequence %d", seq, e.Load64(off+recSeq))
+		}
+		key := e.Load64(off + recKey)
+		switch e.Load64(off + recKind) {
+		case kindPut:
+			s.mem[key] = e.Load64(off + recVal)
+		case kindDel:
+			delete(s.mem, key)
+		default:
+			return fmt.Errorf("rocksdb: WAL record %d has invalid kind", seq)
+		}
+	}
+	return nil
+}
+
+// Get implements harness.KV.
+func (s *store) Get(key uint64) (uint64, bool, error) {
+	v, ok := s.mem[key]
+	return v, ok, nil
+}
+
+// Put implements harness.KV.
+func (s *store) Put(key, val uint64) error {
+	if err := s.appendWal(kindPut, key, val); err != nil {
+		return err
+	}
+	s.mem[key] = val
+	return s.maybeFlush()
+}
+
+// Delete implements harness.KV.
+func (s *store) Delete(key uint64) error {
+	if _, ok := s.mem[key]; !ok {
+		return nil
+	}
+	if err := s.appendWal(kindDel, key, 0); err != nil {
+		return err
+	}
+	delete(s.mem, key)
+	return s.maybeFlush()
+}
+
+// appendWal seals one record: body first, head pointer as commit point.
+func (s *store) appendWal(kind, key, val uint64) error {
+	e := s.e()
+	r := s.root()
+	head := e.Load64(r + rootWalHd)
+	if head+recSize > e.Load64(r+rootWalZ) {
+		return ErrWalFull
+	}
+	walA := e.Load64(r + rootWalA)
+	e.Store64(head+recSeq, (head-walA)/recSize+1)
+	e.Store64(head+recKind, kind)
+	e.Store64(head+recKey, key)
+	e.Store64(head+recVal, val)
+	s.p.Persist(head, recSize)
+	e.Store64(r+rootWalHd, head+recSize)
+	s.p.Persist(r+rootWalHd, 8)
+	return nil
+}
+
+// maybeFlush checkpoints the memtable into a fresh sorted segment every
+// flushEvery mutations. Segment bytes go through non-temporal stores —
+// the streaming-write path of a real LSM flush.
+func (s *store) maybeFlush() error {
+	s.muts++
+	if s.muts%flushEvery != 0 {
+		return nil
+	}
+	e := s.e()
+	r := s.root()
+	keys := make([]uint64, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	segBytes := segData + len(keys)*segEntry
+	seg, err := s.p.Alloc(segBytes)
+	if err != nil {
+		return err
+	}
+	e.NTStore64(seg+segN, uint64(len(keys)))
+	for i, k := range keys {
+		e.NTStore64(seg+segData+uint64(i)*segEntry, k)
+		e.NTStore64(seg+segData+uint64(i)*segEntry+8, s.mem[k])
+	}
+	s.p.Drain() // the segment is durable before it is published
+	old := e.Load64(r + rootSeg)
+	e.Store64(r+rootSeg, seg) // atomic checkpoint switch
+	s.p.Persist(r+rootSeg, 8)
+	// Truncate the WAL; replaying a stale tail over the fresh segment
+	// would be idempotent, so a crash between these steps is benign.
+	e.Store64(r+rootWalHd, e.Load64(r+rootWalA))
+	s.p.Persist(r+rootWalHd, 8)
+	if old != 0 {
+		n := e.Load64(old + segN)
+		s.p.Free(old, segData+int(n)*segEntry)
+	}
+	return nil
+}
+
+var _ harness.KVApplication = (*App)(nil)

@@ -1,0 +1,33 @@
+package rocksdb_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/rocksdb"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 4 << 20} }
+
+func TestKVSemantics(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 1200, Seed: 1, Keyspace: 300})
+	apptest.KVSemantics(t, rocksdb.New(cfgBase()), w)
+}
+
+func TestSemanticsManyCheckpoints(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 6000, Seed: 2, Keyspace: 800})
+	cfg := cfgBase()
+	cfg.PoolSize = 32 << 20
+	apptest.KVSemantics(t, rocksdb.New(cfg), w)
+}
+
+func TestCrashConsistent(t *testing.T) {
+	// Cover several checkpoint cycles: the flush protocol's windows
+	// (segment switch, WAL truncation) are the interesting states.
+	w := workload.Generate(workload.Config{N: 900, Seed: 3, Keyspace: 200})
+	mk := func() harness.Application { return rocksdb.New(cfgBase()) }
+	apptest.CrashConsistent(t, mk, w, 0)
+}

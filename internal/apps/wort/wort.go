@@ -1,0 +1,390 @@
+// Package wort reimplements WORT (Lee et al., FAST'17): a write-optimal
+// radix tree for PM. Keys are walked four bits at a time; leaves attach
+// directly to child slots with a tag bit, so every update completes with
+// a single failure-atomic 8-byte pointer store once the data it publishes
+// is durable — the property that makes the tree write-optimal.
+//
+// Bug knobs: wort/child-publish-early (fault injection),
+// wort/leaf-single-fence and wort/prefix-split-fused (hidden from
+// program-order prefixes), and wort/pf-01..pf-10 (trace analysis).
+package wort
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/perfbug"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/pmdk"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Seeded bug identifiers.
+const (
+	// BugChildPublishEarly persists the child pointer before the
+	// subtree it publishes exists.
+	BugChildPublishEarly bugs.ID = "wort/child-publish-early"
+	// BugLeafSingleFence fuses the leaf write-back and the pointer
+	// write-back under one fence (hidden from prefixes).
+	BugLeafSingleFence bugs.ID = "wort/leaf-single-fence"
+	// BugPrefixSplitFused fuses the collision subtree and its
+	// publication under one fence (hidden from prefixes).
+	BugPrefixSplitFused bugs.ID = "wort/prefix-split-fused"
+)
+
+const (
+	fanout   = 16
+	nibbles  = 16 // 64-bit keys, 4 bits each
+	nodeSize = fanout * 8
+
+	leafKey  = 0x00
+	leafVal  = 0x08
+	leafSize = 0x10
+
+	// leafTag marks a child pointer as a leaf (allocations are
+	// 16-aligned, so the low bits are free).
+	leafTag = 1
+
+	rootNode  = 0x00
+	rootCount = 0x08
+	rootStats = 0x40 // own cache line: never flushed by design
+	rootSize  = 0x80
+)
+
+// App is the WORT store.
+type App struct{ cfg apps.Config }
+
+// New constructs the application.
+func New(cfg apps.Config) *App { return &App{cfg: cfg} }
+
+func init() {
+	apps.Register("wort", func(cfg apps.Config) harness.Application { return New(cfg) })
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string { return "wort" }
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int {
+	if a.cfg.PoolSize != 0 {
+		return a.cfg.PoolSize
+	}
+	return 64 << 20
+}
+
+// Setup implements harness.Application.
+func (a *App) Setup(e *pmem.Engine) error {
+	p, err := pmdk.Create(e, a.cfg.Ver, rootSize)
+	if err != nil {
+		return err
+	}
+	node, err := p.AllocZeroed(nodeSize)
+	if err != nil {
+		return err
+	}
+	p.Persist(node, nodeSize)
+	e.Store64(p.Root()+rootNode, node)
+	e.Store64(p.Root()+rootCount, 0)
+	p.Persist(p.Root(), 16)
+	return nil
+}
+
+// Open implements harness.KVApplication.
+func (a *App) Open(e *pmem.Engine) (harness.KV, error) {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if err != nil {
+		return nil, err
+	}
+	return &radix{p: p, cfg: a.cfg}, nil
+}
+
+// Run implements harness.Application.
+func (a *App) Run(e *pmem.Engine, w workload.Workload) error {
+	kv, err := a.Open(e)
+	if err != nil {
+		return err
+	}
+	return harness.RunKV(kv, w)
+}
+
+// Recover implements harness.Application.
+func (a *App) Recover(e *pmem.Engine) error {
+	p, err := pmdk.Open(e, a.cfg.Ver)
+	if errors.Is(err, pmdk.ErrNeverCreated) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r := &radix{p: p, cfg: a.cfg}
+	return r.validate()
+}
+
+type radix struct {
+	p   *pmdk.Pool
+	cfg apps.Config
+}
+
+func (r *radix) e() *pmem.Engine { return r.p.Engine() }
+func (r *radix) root() uint64    { return r.p.Root() }
+
+func nibble(key uint64, depth int) uint64 {
+	return (key >> (60 - 4*depth)) & 0xf
+}
+
+func isLeaf(ptr uint64) bool { return ptr&leafTag != 0 }
+func leafOff(ptr uint64) uint64 {
+	return ptr &^ uint64(leafTag)
+}
+
+func (r *radix) slotAddr(node uint64, depth int, key uint64) uint64 {
+	return node + 8*nibble(key, depth)
+}
+
+// Get implements harness.KV.
+func (r *radix) Get(key uint64) (uint64, bool, error) {
+	perfbug.ApplyN(r.e(), r.cfg.Bugs, "wort", 4, 6, 0, r.root()+rootStats)
+	e := r.e()
+	node := e.Load64(r.root() + rootNode)
+	for depth := 0; depth < nibbles; depth++ {
+		ptr := e.Load64(r.slotAddr(node, depth, key))
+		if ptr == 0 {
+			return 0, false, nil
+		}
+		if isLeaf(ptr) {
+			off := leafOff(ptr)
+			if e.Load64(off+leafKey) == key {
+				return e.Load64(off + leafVal), true, nil
+			}
+			return 0, false, nil
+		}
+		node = ptr
+	}
+	return 0, false, nil
+}
+
+// newLeaf allocates and (correctly) persists a leaf.
+func (r *radix) newLeaf(key, val uint64, persist bool) (uint64, error) {
+	off, err := r.p.AllocZeroed(leafSize)
+	if err != nil {
+		return 0, err
+	}
+	r.e().Store64(off+leafKey, key)
+	r.e().Store64(off+leafVal, val)
+	if persist {
+		r.p.Persist(off, leafSize)
+	} else {
+		r.p.Flush(off, leafSize)
+	}
+	return off, nil
+}
+
+// Put implements harness.KV.
+func (r *radix) Put(key, val uint64) error {
+	perfbug.ApplyN(r.e(), r.cfg.Bugs, "wort", 1, 3, 0, r.root()+rootStats)
+	e := r.e()
+	node := e.Load64(r.root() + rootNode)
+	for depth := 0; depth < nibbles; depth++ {
+		slot := r.slotAddr(node, depth, key)
+		ptr := e.Load64(slot)
+		if ptr == 0 {
+			// Empty slot: persist the leaf, then publish it with one
+			// atomic pointer store (the WORT update rule).
+			fused := r.cfg.Bugs.Has(BugLeafSingleFence)
+			leaf, err := r.newLeaf(key, val, !fused)
+			if err != nil {
+				return err
+			}
+			e.Store64(slot, leaf|leafTag)
+			if fused {
+				// BUG (hidden from prefixes): leaf and pointer
+				// write-backs share one fence.
+				r.p.Flush(slot, 8)
+				r.p.Drain()
+			} else {
+				r.p.Persist(slot, 8)
+			}
+			return r.bumpCount(1)
+		}
+		if isLeaf(ptr) {
+			off := leafOff(ptr)
+			if e.Load64(off+leafKey) == key {
+				// Overwrite: one atomic persisted store.
+				e.Store64(off+leafVal, val)
+				r.p.Persist(off+leafVal, 8)
+				return nil
+			}
+			// Collision: grow a chain of internal nodes covering the
+			// shared nibbles, ending with both leaves, then publish
+			// the chain with one atomic pointer store.
+			if err := r.splitLeaf(slot, off, depth+1, key, val); err != nil {
+				return err
+			}
+			return r.bumpCount(1)
+		}
+		node = ptr
+	}
+	return fmt.Errorf("wort: key %d exhausted all nibbles", key)
+}
+
+// splitLeaf replaces the leaf at slot (holding oldOff) with a subtree
+// distinguishing oldKey from key, starting at depth.
+func (r *radix) splitLeaf(slot, oldOff uint64, depth int, key, val uint64) error {
+	e := r.e()
+	oldKey := e.Load64(oldOff + leafKey)
+
+	publishEarly := r.cfg.Bugs.Has(BugChildPublishEarly)
+	fused := r.cfg.Bugs.Has(BugPrefixSplitFused)
+
+	// Build the chain top-down in volatile order first.
+	top, err := r.p.AllocZeroed(nodeSize)
+	if err != nil {
+		return err
+	}
+	if publishEarly {
+		// BUG: the pointer is persisted before the subtree exists; a
+		// crash strands the old key behind an empty node.
+		e.Store64(slot, top)
+		r.p.Persist(slot, 8)
+	}
+	cur := top
+	d := depth
+	for d < nibbles && nibble(oldKey, d) == nibble(key, d) {
+		next, err := r.p.AllocZeroed(nodeSize)
+		if err != nil {
+			return err
+		}
+		e.Store64(cur+8*nibble(key, d), next)
+		r.p.FlushDirty(cur, nodeSize)
+		cur = next
+		d++
+	}
+	if d == nibbles {
+		return fmt.Errorf("wort: duplicate key %d in split", key)
+	}
+	newLeaf, err := r.newLeaf(key, val, false)
+	if err != nil {
+		return err
+	}
+	e.Store64(cur+8*nibble(key, d), newLeaf|leafTag)
+	e.Store64(cur+8*nibble(oldKey, d), oldOff|leafTag)
+	r.p.FlushDirty(cur, nodeSize)
+	if !fused {
+		r.p.Drain()
+	}
+	if !publishEarly {
+		e.Store64(slot, top)
+		if fused {
+			// BUG (hidden from prefixes): subtree and publication
+			// share one fence.
+			r.p.Flush(slot, 8)
+			r.p.Drain()
+		} else {
+			r.p.Persist(slot, 8)
+		}
+	}
+	return nil
+}
+
+func (r *radix) bumpCount(delta int64) error {
+	cnt := r.root() + rootCount
+	r.e().Store64(cnt, r.e().Load64(cnt)+uint64(delta))
+	r.p.Persist(cnt, 8)
+	return nil
+}
+
+// Delete implements harness.KV: count-first, then one atomic pointer
+// clear.
+func (r *radix) Delete(key uint64) error {
+	perfbug.ApplyN(r.e(), r.cfg.Bugs, "wort", 7, 10, 0, r.root()+rootStats)
+	e := r.e()
+	node := e.Load64(r.root() + rootNode)
+	for depth := 0; depth < nibbles; depth++ {
+		slot := r.slotAddr(node, depth, key)
+		ptr := e.Load64(slot)
+		if ptr == 0 {
+			return nil
+		}
+		if isLeaf(ptr) {
+			if e.Load64(leafOff(ptr)+leafKey) != key {
+				return nil
+			}
+			if err := r.bumpCount(-1); err != nil {
+				return err
+			}
+			e.Store64(slot, 0)
+			r.p.Persist(slot, 8)
+			return nil
+		}
+		node = ptr
+	}
+	return nil
+}
+
+// validate is the recovery consistency check: a DFS verifying bounds,
+// that every leaf's key spells the path leading to it, and that the
+// reachable-leaf count reconciles with the persisted counter.
+func (r *radix) validate() error {
+	e := r.e()
+	node := e.Load64(r.root() + rootNode)
+	count := e.Load64(r.root() + rootCount)
+	if node == 0 {
+		if count != 0 {
+			return fmt.Errorf("wort: no root node but count=%d", count)
+		}
+		return nil
+	}
+	size := uint64(e.Size())
+	var leaves uint64
+	var walk func(n uint64, depth int, prefix uint64) error
+	walk = func(n uint64, depth int, prefix uint64) error {
+		if depth >= nibbles {
+			return fmt.Errorf("wort: node chain deeper than the key length")
+		}
+		if n%16 != 0 || n+nodeSize > size {
+			return fmt.Errorf("wort: node 0x%x out of bounds", n)
+		}
+		for i := uint64(0); i < fanout; i++ {
+			ptr := e.Load64(n + 8*i)
+			if ptr == 0 {
+				continue
+			}
+			if isLeaf(ptr) {
+				off := leafOff(ptr)
+				if off+leafSize > size {
+					return fmt.Errorf("wort: leaf 0x%x out of bounds", off)
+				}
+				k := e.Load64(off + leafKey)
+				wantPrefix := (prefix << 4) | i
+				gotPrefix := k >> (60 - 4*depth)
+				if gotPrefix != wantPrefix {
+					return fmt.Errorf("wort: leaf key %d under wrong path at depth %d", k, depth)
+				}
+				leaves++
+				continue
+			}
+			if err := walk(ptr, depth+1, (prefix<<4)|i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(node, 0, 0); err != nil {
+		return err
+	}
+	switch {
+	case leaves == count:
+		return nil
+	case leaves == count+1:
+		e.Store64(r.root()+rootCount, leaves)
+		r.p.Persist(r.root()+rootCount, 8)
+		return nil
+	default:
+		return fmt.Errorf("wort: count=%d but %d leaves reachable", count, leaves)
+	}
+}
+
+var _ harness.KVApplication = (*App)(nil)

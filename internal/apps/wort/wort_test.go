@@ -1,0 +1,60 @@
+package wort_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest"
+	"mumak/internal/apps/wort"
+	"mumak/internal/bugs"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+func cfgBase() apps.Config { return apps.Config{PoolSize: 4 << 20} }
+
+func mk(cfg apps.Config) func() harness.Application {
+	return func() harness.Application { return wort.New(cfg) }
+}
+
+func smallWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 200, Seed: seed, Keyspace: 80})
+}
+
+func TestKVSemantics(t *testing.T) {
+	apptest.KVSemantics(t, wort.New(cfgBase()), smallWorkload(1))
+}
+
+func TestSemanticsLarge(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 5000, Seed: 2, Keyspace: 2500})
+	cfg := cfgBase()
+	cfg.PoolSize = 32 << 20
+	apptest.KVSemantics(t, wort.New(cfg), w)
+}
+
+func TestCrashConsistentWithoutBugs(t *testing.T) {
+	apptest.CrashConsistent(t, mk(cfgBase()), smallWorkload(3), 0)
+}
+
+func TestChildPublishEarlyExposed(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable(wort.BugChildPublishEarly)
+	apptest.ExposesBug(t, mk(cfg), smallWorkload(4), 0)
+}
+
+func TestFusedFenceBugsHiddenFromPrefix(t *testing.T) {
+	for _, id := range []bugs.ID{wort.BugLeafSingleFence, wort.BugPrefixSplitFused} {
+		id := id
+		t.Run(string(id), func(t *testing.T) {
+			cfg := cfgBase()
+			cfg.Bugs = bugs.Enable(id)
+			apptest.HiddenFromPrefix(t, mk(cfg), smallWorkload(5), 0)
+		})
+	}
+}
+
+func TestPerfBugsDoNotBreakRecovery(t *testing.T) {
+	cfg := cfgBase()
+	cfg.Bugs = bugs.Enable("wort/pf-01", "wort/pf-02", "wort/pf-03")
+	apptest.CrashConsistent(t, mk(cfg), smallWorkload(6), 0)
+}

@@ -1,0 +1,151 @@
+// Package bugs is the ground-truth registry of seeded defects.
+//
+// The coverage evaluation of §6.2 measures Mumak against Witcher's bug
+// list: 43 correctness and 101 performance bugs across PMDK's data
+// stores, RECIPE indexes, Redis, WORT, Level Hashing, FAST&FAIR and
+// CCEH. This package plays the role of that list: every application in
+// internal/apps exposes named bug knobs; enabling a knob plants the
+// corresponding defect, and the registry records its taxonomy class and
+// which detection mechanism is expected to expose it, so experiments can
+// compute coverage percentages exactly as the paper does.
+package bugs
+
+import (
+	"fmt"
+	"sort"
+
+	"mumak/internal/taxonomy"
+)
+
+// ID names one seeded bug, conventionally "<app>/<slug>".
+type ID string
+
+// Mechanism is the Mumak component expected to expose a bug.
+type Mechanism uint8
+
+// Detection mechanisms.
+const (
+	// FaultInjection: exposed by crashing at a failure point and
+	// failing recovery (correctness bugs).
+	FaultInjection Mechanism = iota
+	// TraceAnalysis: exposed by the single-pass pattern rules
+	// (durability and performance bugs).
+	TraceAnalysis
+	// Missed: not expected to be found by Mumak — the ~10% of
+	// Witcher's correctness bugs whose exposing post-failure state
+	// does not respect a program-order prefix (§6.2), or bugs hidden
+	// from the oracle by an absent recovery procedure.
+	Missed
+)
+
+var mechanismNames = [...]string{
+	FaultInjection: "fault-injection",
+	TraceAnalysis:  "trace-analysis",
+	Missed:         "missed",
+}
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	if int(m) < len(mechanismNames) {
+		return mechanismNames[m]
+	}
+	return "mech?"
+}
+
+// Bug is one registry entry.
+type Bug struct {
+	// ID is the unique bug identifier.
+	ID ID
+	// App is the target application name.
+	App string
+	// Class is the taxonomy class.
+	Class taxonomy.Class
+	// Mechanism is the expected detector.
+	Mechanism Mechanism
+	// Description explains the planted defect.
+	Description string
+}
+
+// Correctness reports whether the bug is a crash-consistency bug.
+func (b Bug) Correctness() bool { return b.Class.Correctness() }
+
+// Set selects which seeded bugs an application instance plants.
+type Set map[ID]bool
+
+// Has reports whether the bug is enabled; a nil Set plants nothing.
+func (s Set) Has(id ID) bool { return s != nil && s[id] }
+
+// All returns a Set enabling every registered bug for the application.
+func All(app string) Set {
+	s := Set{}
+	for _, b := range ForApp(app) {
+		s[b.ID] = true
+	}
+	return s
+}
+
+// Enable returns a Set with exactly the given bugs enabled.
+func Enable(ids ...ID) Set {
+	s := Set{}
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// ForApp returns the registered bugs of one application, sorted by ID.
+func ForApp(app string) []Bug {
+	var out []Bug
+	for _, b := range Registry {
+		if b.App == app {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the registry entry for id.
+func Lookup(id ID) (Bug, bool) {
+	for _, b := range Registry {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Bug{}, false
+}
+
+// Counts summarises the registry: total correctness and performance bugs
+// (the paper's 43 + 101), and how many of each Mumak should find.
+func Counts() (correctness, performance, foundCorrectness, foundPerformance int) {
+	for _, b := range Registry {
+		if b.Correctness() {
+			correctness++
+			if b.Mechanism != Missed {
+				foundCorrectness++
+			}
+		} else {
+			performance++
+			if b.Mechanism != Missed {
+				foundPerformance++
+			}
+		}
+	}
+	return
+}
+
+// Validate checks registry invariants: unique IDs, ID prefixes matching
+// the app, and performance bugs never assigned to fault injection.
+func Validate() error {
+	seen := map[ID]bool{}
+	for _, b := range Registry {
+		if seen[b.ID] {
+			return fmt.Errorf("duplicate bug id %q", b.ID)
+		}
+		seen[b.ID] = true
+		if !b.Correctness() && b.Mechanism == FaultInjection {
+			return fmt.Errorf("bug %q: performance bugs are invisible to fault injection", b.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package bugs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryTotalsMatchPaper(t *testing.T) {
+	c, p, fc, fp := Counts()
+	if c != 43 {
+		t.Errorf("correctness bugs = %d, want 43 (Witcher's list)", c)
+	}
+	if p != 101 {
+		t.Errorf("performance bugs = %d, want 101 (Witcher's list)", p)
+	}
+	if fp != p {
+		t.Errorf("found performance = %d, want all %d", fp, p)
+	}
+	found := fc + fp
+	total := c + p
+	pct := 100 * found / total
+	if pct != 90 {
+		t.Errorf("expected coverage = %d%%, want 90%% (found %d of %d)", pct, found, total)
+	}
+}
+
+func TestRegistryValidates(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDsCarryAppPrefix(t *testing.T) {
+	for _, b := range Registry {
+		if !strings.HasPrefix(string(b.ID), b.App+"/") {
+			t.Errorf("bug %q not prefixed with app %q", b.ID, b.App)
+		}
+	}
+}
+
+func TestLevelHashingHasSeventeen(t *testing.T) {
+	n := 0
+	for _, b := range ForApp("levelhash") {
+		if b.Correctness() {
+			n++
+		}
+	}
+	if n != 17 {
+		t.Fatalf("levelhash correctness bugs = %d, want 17 (§6.2)", n)
+	}
+}
+
+func TestMissedAreOrderingOnly(t *testing.T) {
+	for _, b := range Registry {
+		if b.Mechanism == Missed && b.Class.Correctness() && b.Class != 2 /* Ordering */ {
+			t.Errorf("missed bug %q has class %v; prefix images only hide ordering bugs", b.ID, b.Class)
+		}
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := Enable("btree/count-outside-tx")
+	if !s.Has("btree/count-outside-tx") || s.Has("btree/root-publish-outside-tx") {
+		t.Fatal("Enable built wrong set")
+	}
+	all := All("btree")
+	if len(all) != 13 {
+		t.Fatalf("All(btree) has %d bugs, want 13", len(all))
+	}
+	var nilSet Set
+	if nilSet.Has("btree/count-outside-tx") {
+		t.Fatal("nil set claims a bug")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	b, ok := Lookup("cceh/dir-publish-early")
+	if !ok || b.App != "cceh" {
+		t.Fatalf("lookup failed: %+v %v", b, ok)
+	}
+	if _, ok := Lookup("nope/nope"); ok {
+		t.Fatal("lookup found a ghost")
+	}
+}

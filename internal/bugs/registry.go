@@ -1,0 +1,146 @@
+package bugs
+
+import (
+	"fmt"
+
+	"mumak/internal/taxonomy"
+)
+
+// Registry is the ground-truth seeded bug list: 43 correctness and 101
+// performance bugs distributed across the coverage targets, mirroring
+// the totals of Witcher's list used in §6.2. Mumak's expected coverage
+// is every TraceAnalysis and FaultInjection entry — 130/144 ≈ 90% — with
+// the 14 Missed entries being ordering bugs whose exposing post-failure
+// states do not respect a program-order prefix.
+var Registry []Bug
+
+func add(id ID, app string, class taxonomy.Class, mech Mechanism, desc string) {
+	Registry = append(Registry, Bug{ID: id, App: app, Class: class, Mechanism: mech, Description: desc})
+}
+
+// addPerf appends n numbered performance bugs for app, cycling through
+// redundant-flush, redundant-fence and transient-data classes.
+func addPerf(app string, n int) {
+	classes := []taxonomy.Class{taxonomy.RedundantFlush, taxonomy.RedundantFence, taxonomy.TransientData}
+	descs := []string{
+		"flush of a line not written since its last flush",
+		"fence with no pending flush or non-temporal store",
+		"PM region written on the hot path but never persisted (transient data)",
+	}
+	for i := 0; i < n; i++ {
+		c := classes[i%3]
+		add(ID(fmt.Sprintf("%s/pf-%02d", app, i+1)), app, c, TraceAnalysis, descs[i%3])
+	}
+}
+
+func init() {
+	// --- PMDK btree example (3 correctness + 10 performance).
+	add("btree/split-missing-addrange", "btree", taxonomy.Atomicity, FaultInjection,
+		"parent child-shift during split is not undo-logged; rollback leaves the parent half-updated")
+	add("btree/root-publish-outside-tx", "btree", taxonomy.Ordering, FaultInjection,
+		"new root pointer persisted outside the split transaction")
+	add("btree/count-outside-tx", "btree", taxonomy.Atomicity, FaultInjection,
+		"element count maintained with a non-transactional persisted store")
+	addPerf("btree", 10)
+
+	// --- PMDK rbtree example (2 + 8).
+	add("rbtree/rotate-missing-addrange", "rbtree", taxonomy.Atomicity, FaultInjection,
+		"rotation pointer updates are not undo-logged")
+	add("rbtree/count-outside-tx", "rbtree", taxonomy.Atomicity, FaultInjection,
+		"element count maintained with a non-transactional persisted store")
+	addPerf("rbtree", 8)
+
+	// --- PMDK hashmap_atomic example (3 + 8).
+	add("hashmap/publish-before-init", "hashmap", taxonomy.Ordering, FaultInjection,
+		"bucket head pointer published and persisted before the node fields are written")
+	add("hashmap/rebuild-swap-early", "hashmap", taxonomy.Ordering, FaultInjection,
+		"table pointer swapped to the new table before rehashing completes")
+	add("hashmap/insert-single-fence", "hashmap", taxonomy.Ordering, Missed,
+		"node initialisation and head publication flushed under one fence; exposing states violate program order")
+	addPerf("hashmap", 8)
+
+	// --- Level Hashing (17 + 12): the §6.2 oracle case study. All 17
+	// are insert/delete/resize windows whose program-order prefix is
+	// unrecoverable — but only with the (initially absent) recovery
+	// procedure in place.
+	lh := []struct {
+		slug, desc string
+	}{
+		{"c01-top-slot-count-order", "top-level insert bumps the item count before writing the slot"},
+		{"c02-bottom-slot-count-order", "bottom-level insert bumps the item count before writing the slot"},
+		{"c03-top-alt-count-order", "top-level alternate-hash insert bumps the count before the slot"},
+		{"c04-bottom-alt-count-order", "bottom-level alternate-hash insert bumps the count before the slot"},
+		{"c05-delete-unlink-first", "delete clears the slot before decrementing the count"},
+		{"c06-delete-alt-unlink-first", "alternate-position delete clears the slot before the count"},
+		{"c07-resize-remove-first", "resize moves an item by deleting the old slot before inserting the new"},
+		{"c08-resize-alt-remove-first", "resize alternate-bucket move deletes before inserting"},
+		{"c09-resize-publish-early", "resize publishes the new level pointer before rehashing"},
+		{"c10-resize-count-early", "resize persists the new capacity before moving items"},
+		{"c11-tag-before-kv", "slot tag set and persisted before key/value are written"},
+		{"c12-tag-before-kv-bottom", "bottom-level slot tag persisted before key/value"},
+		{"c13-update-clear-first", "in-place update clears the tag, persists, then rewrites"},
+		{"c14-update-clear-first-alt", "alternate-position update clears then rewrites with a persist between"},
+		{"c15-swap-evict-order", "top-level displacement removes the victim before its copy exists"},
+		{"c16-swap-evict-order-alt", "bottom-to-top promotion removes the victim before its copy exists"},
+		{"c17-resize-old-free-early", "resize frees the level that lives on as the new bottom, corrupting live slots"},
+	}
+	for _, b := range lh {
+		class := taxonomy.Atomicity
+		if b.slug[1] == '0' && (b.slug[2] == '7' || b.slug[2] == '8' || b.slug[2] == '9') || b.slug[:3] == "c10" || b.slug[:3] == "c15" || b.slug[:3] == "c16" || b.slug[:3] == "c17" {
+			class = taxonomy.Ordering
+		}
+		add(ID("levelhash/"+b.slug), "levelhash", class, FaultInjection, b.desc)
+	}
+	addPerf("levelhash", 12)
+
+	// --- CCEH (5 + 12).
+	add("cceh/dir-publish-early", "cceh", taxonomy.Ordering, FaultInjection,
+		"directory entry points at the new segment before it is initialised")
+	add("cceh/split-move-order", "cceh", taxonomy.Ordering, FaultInjection,
+		"segment split deletes moved slots before inserting them into the new segment")
+	add("cceh/split-single-fence", "cceh", taxonomy.Ordering, Missed,
+		"segment split publishes directory entries and local depth under one fence")
+	add("cceh/dir-double-fused", "cceh", taxonomy.Ordering, Missed,
+		"directory doubling writes all entries then fences once")
+	add("cceh/depth-fused-fence", "cceh", taxonomy.Ordering, Missed,
+		"local and global depth updates flushed under one fence")
+	addPerf("cceh", 12)
+
+	// --- FAST&FAIR (4 + 14).
+	add("fastfair/shift-lost-key", "fastfair", taxonomy.Atomicity, FaultInjection,
+		"in-leaf shift overwrites before copying, losing a key at some crash points")
+	add("fastfair/shift-single-fence", "fastfair", taxonomy.Ordering, Missed,
+		"the per-entry shift fences are fused into one trailing fence")
+	add("fastfair/sibling-single-fence", "fastfair", taxonomy.Ordering, Missed,
+		"sibling pointer and split key flushed under one fence")
+	add("fastfair/split-fused-fence", "fastfair", taxonomy.Ordering, Missed,
+		"split copies and parent link flushed under one fence")
+	addPerf("fastfair", 14)
+
+	// --- WORT (3 + 10).
+	add("wort/child-publish-early", "wort", taxonomy.Ordering, FaultInjection,
+		"child pointer published and persisted before the leaf node is written")
+	add("wort/leaf-single-fence", "wort", taxonomy.Ordering, Missed,
+		"leaf contents and parent pointer flushed under one fence")
+	add("wort/prefix-split-fused", "wort", taxonomy.Ordering, Missed,
+		"path-compression split writes both nodes under one fence")
+	addPerf("wort", 10)
+
+	// --- PM-Redis (3 + 12).
+	add("redis/log-seq-early", "redis", taxonomy.Ordering, FaultInjection,
+		"append-only log sequence number persisted before the record body")
+	add("redis/entry-single-fence", "redis", taxonomy.Ordering, Missed,
+		"log record body and commit length flushed under one fence")
+	add("redis/index-fused-fence", "redis", taxonomy.Ordering, Missed,
+		"dict bucket pointer and entry flushed under one fence")
+	addPerf("redis", 12)
+
+	// --- ART, the RECIPE-style index (3 + 15).
+	add("art/grow-fused-fence", "art", taxonomy.Ordering, Missed,
+		"node4-to-node16 growth writes children and count under one fence")
+	add("art/prefix-fused-fence", "art", taxonomy.Ordering, Missed,
+		"prefix-split node pair flushed under one fence")
+	add("art/leaf-fused-fence", "art", taxonomy.Ordering, Missed,
+		"leaf and parent slot flushed under one fence")
+	addPerf("art", 15)
+}

@@ -1,0 +1,144 @@
+// Package core implements Mumak itself: the analysis pipeline of Fig 1.
+//
+// Given only an application (the "binary") and a workload, the pipeline
+//
+//  1. instruments the PM instruction stream and runs the workload once,
+//     producing the failure point tree and the PM access trace;
+//  2. injects one fault per unique failure point, materialises the
+//     graceful-crash (program-order prefix) image and asks the
+//     application's own recovery procedure — the consistency oracle — to
+//     accept or reject it;
+//  3. analyses the trace in a single pass against the §4.2 misuse
+//     patterns, catching the durability and performance bugs fault
+//     injection cannot see;
+//  4. merges both phases into a deduplicated report with complete code
+//     paths.
+//
+// No annotations, library knowledge or application semantics are used
+// anywhere: the design goal of the paper.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mumak/internal/fpt"
+	"mumak/internal/harness"
+	"mumak/internal/pmem"
+	"mumak/internal/report"
+	"mumak/internal/stack"
+	"mumak/internal/trace"
+	"mumak/internal/workload"
+)
+
+// Config tunes the analysis.
+type Config struct {
+	// Granularity selects the failure-point definition (§4.1);
+	// GranPersistency is Mumak's default.
+	Granularity fpt.Granularity
+	// Budget bounds the wall-clock time of the whole analysis; zero
+	// means unbounded. It plays the role of the paper's 12-hour limit.
+	Budget time.Duration
+	// MaxFailurePoints caps the number of injected faults (0 = all);
+	// used by ablation benches only.
+	MaxFailurePoints int
+	// DisableTraceAnalysis skips phase 3 (ablation benches).
+	DisableTraceAnalysis bool
+	// DisableFaultInjection skips phase 2 (ablation benches).
+	DisableFaultInjection bool
+	// StackMode makes the injector match call stacks instead of
+	// instruction counters, for non-deterministic targets (§5).
+	StackMode bool
+	// KeepWarnings retains §4.2 warnings in the report (they are
+	// always excluded from bug counts).
+	KeepWarnings bool
+	// EADR analyses the target under an extended persistence domain
+	// (§4.3): fault injection is unchanged — the reported atomicity
+	// and ordering bugs would still occur on an eADR system — but the
+	// trace-analysis patterns flip: unflushed stores are fine, and
+	// every cache flush is a performance bug.
+	EADR bool
+}
+
+// Result is the outcome of one analysis.
+type Result struct {
+	// Report holds the merged findings.
+	Report *report.Report
+	// Tree is the failure point tree of the run.
+	Tree *fpt.Tree
+	// TraceLen is the number of trace records analysed.
+	TraceLen int
+	// Injections is the number of faults injected.
+	Injections int
+	// Recoveries is the number of recovery-oracle invocations.
+	Recoveries int
+	// Elapsed is the total analysis wall time; the phase fields break
+	// it down.
+	Elapsed        time.Duration
+	InstrumentTime time.Duration
+	InjectTime     time.Duration
+	AnalysisTime   time.Duration
+	// TimedOut reports whether the budget expired before completion.
+	TimedOut bool
+	// EngineEvents counts simulated PM instructions across all runs.
+	EngineEvents uint64
+}
+
+// Analyze runs the full Mumak pipeline on the target.
+func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result, error) {
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.Budget > 0 {
+		deadline = start.Add(cfg.Budget)
+	}
+	res := &Result{}
+	stacks := stack.NewTable()
+	rep := &report.Report{Target: app.Name(), Tool: "Mumak", Stacks: stacks}
+	res.Report = rep
+
+	// Phase 1: instrumented run -> failure point tree + trace.
+	capture := pmem.CapturePersistency
+	if cfg.Granularity == fpt.GranStore {
+		capture = pmem.CaptureStores
+	}
+	tree := fpt.New(stacks)
+	builder := fpt.NewBuilder(tree, cfg.Granularity)
+	rec := trace.NewRecorder()
+	t0 := time.Now()
+	eng, sig, err := harness.Execute(app, w,
+		pmem.Options{Capture: capture, Stacks: stacks, EADR: cfg.EADR}, builder, rec)
+	if err != nil {
+		return nil, fmt.Errorf("instrumented run: %w", err)
+	}
+	if sig != nil {
+		return nil, fmt.Errorf("instrumented run crashed unexpectedly: %v", sig)
+	}
+	res.EngineEvents += eng.Events()
+	res.InstrumentTime = time.Since(t0)
+	res.Tree = tree
+	res.TraceLen = rec.T.Len()
+
+	// Phase 2: fault injection with the recovery oracle.
+	if !cfg.DisableFaultInjection {
+		t0 = time.Now()
+		res.TimedOut = injectAll(app, w, tree, cfg, rep, res, deadline) || res.TimedOut
+		res.InjectTime = time.Since(t0)
+	}
+
+	// Phase 3: single-pass trace analysis.
+	if !cfg.DisableTraceAnalysis {
+		t0 = time.Now()
+		findings := analyzeTrace(&rec.T, cfg)
+		resolveStacks(app, w, capture, stacks, findings)
+		for _, f := range findings {
+			if f.Kind.IsWarning() && !cfg.KeepWarnings {
+				continue
+			}
+			rep.Add(*f)
+		}
+		res.AnalysisTime = time.Since(t0)
+	}
+
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

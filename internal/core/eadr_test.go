@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/btree"
+	"mumak/internal/apps/hashatomic"
+	"mumak/internal/bugs"
+	"mumak/internal/core"
+	"mumak/internal/report"
+)
+
+// The §4.3 eADR discussion: fault-injection findings survive the
+// extended persistence domain; the durability patterns flip.
+
+func TestEADRFaultInjectionStillFindsOrderingBugs(t *testing.T) {
+	cfg := apps.Config{PoolSize: 1 << 20, Bugs: bugs.Enable(hashatomic.BugPublishBeforeInit)}
+	res, err := core.Analyze(hashatomic.New(cfg), smallWorkload(20), core.Config{EADR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countKind(res.Report, report.CrashConsistency) == 0 {
+		t.Fatal("ordering bug lost under eADR; §4.3 says it must persist")
+	}
+}
+
+func TestEADRSuppressesDurabilityPatterns(t *testing.T) {
+	// The transient-data knob stores to PM without flushing — under
+	// eADR that is fine and must not be reported.
+	cfg := cfgSPT("btree/pf-03")
+	res, err := core.Analyze(btree.New(cfg), smallWorkload(21), core.Config{EADR: true, KeepWarnings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Report.CountByKind()
+	if counts[report.WarnTransientData] != 0 || counts[report.Durability] != 0 || counts[report.DirtyOverwrite] != 0 {
+		t.Fatalf("durability-family findings under eADR: %v", counts)
+	}
+}
+
+func TestEADRFlagsEveryFlushRedundant(t *testing.T) {
+	res, err := core.Analyze(btree.New(cfgSPT()), smallWorkload(22), core.Config{EADR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.CountByKind()[report.RedundantFlush] == 0 {
+		t.Fatal("eADR analysis should flag cache flushes as unnecessary")
+	}
+	// And the clean target still has no crash-consistency bugs.
+	if countKind(res.Report, report.CrashConsistency) != 0 {
+		t.Fatal("clean target inconsistent under eADR")
+	}
+}

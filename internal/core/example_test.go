@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/btree"
+	"mumak/internal/bugs"
+	"mumak/internal/core"
+	"mumak/internal/workload"
+)
+
+// The entire black-box contract in one call: an application, a
+// workload, a config — out comes a deduplicated report.
+func ExampleAnalyze() {
+	app := btree.New(apps.Config{
+		SPT:      true,
+		PoolSize: 2 << 20,
+		Bugs:     bugs.Enable(btree.BugCountOutsideTx),
+	})
+	w := workload.Generate(workload.Config{N: 300, Seed: 1, Keyspace: 64})
+
+	res, err := core.Analyze(app, w, core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("found %d unique crash-consistency bug(s)\n", len(res.Report.Bugs()))
+	// Output:
+	// found 2 unique crash-consistency bug(s)
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	_ "mumak/internal/apps/art"
+	_ "mumak/internal/apps/cceh"
+	_ "mumak/internal/apps/fastfair"
+	_ "mumak/internal/apps/montageht"
+	_ "mumak/internal/apps/pmemkv"
+	_ "mumak/internal/apps/redis"
+	_ "mumak/internal/apps/rocksdb"
+	_ "mumak/internal/apps/wort"
+	"mumak/internal/core"
+	"mumak/internal/workload"
+)
+
+// The no-false-positive property of §6.2, enforced across the whole
+// registry: with every bug knob off, both analysis phases must report
+// zero bug-severity findings on every target (warnings are fine).
+func TestNoFalsePositivesAcrossRegistry(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 600, Seed: 77, Keyspace: 250, PutFrac: 2, GetFrac: 1, DeleteFrac: 1})
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, err := apps.New(name, apps.Config{SPT: true, PoolSize: 8 << 20, WithRecovery: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Analyze(app, w, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bugsFound := res.Report.Bugs(); len(bugsFound) != 0 {
+				t.Fatalf("clean %s produced %d bug(s):\n%s",
+					name, len(bugsFound), res.Report.Format(false))
+			}
+		})
+	}
+}

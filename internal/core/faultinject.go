@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"mumak/internal/fpt"
+	"mumak/internal/harness"
+	"mumak/internal/oracle"
+	"mumak/internal/pmem"
+	"mumak/internal/report"
+	"mumak/internal/workload"
+)
+
+// injectAll visits every unvisited leaf of the failure point tree,
+// injecting one fault per unique failure point (steps 7-9 of Fig 1),
+// and reports every crash state the recovery oracle rejects. It returns
+// whether the deadline expired first.
+//
+// In the default counter mode the injector crashes at the leaf's
+// recorded first-occurrence instruction counter — the §5 optimisation
+// that works because the target is deterministic. In stack mode it
+// re-matches call stacks, which needs stack capture on every replay but
+// tolerates non-determinism.
+func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
+	cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
+
+	stacks := tree.Stacks()
+	capture := pmem.CaptureNone
+	if cfg.StackMode {
+		capture = pmem.CapturePersistency
+		if cfg.Granularity == fpt.GranStore {
+			capture = pmem.CaptureStores
+		}
+	}
+	injected := 0
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return true
+		}
+		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
+			return false
+		}
+		var inj *fpt.Injector
+		opts := pmem.Options{Capture: capture, Stacks: stacks}
+		var hooks []pmem.Hook
+		var leaf *fpt.Leaf
+		if cfg.StackMode {
+			inj = &fpt.Injector{Tree: tree, StackMode: true, Granularity: cfg.Granularity}
+			hooks = append(hooks, inj)
+		} else {
+			unvisited := tree.Unvisited()
+			if len(unvisited) == 0 {
+				return false
+			}
+			leaf = unvisited[0]
+			leaf.Visited = true
+			// Counter mode needs no hook at all: the engine crashes
+			// itself at the recorded counter (§5's minimal
+			// instrumentation).
+			opts.CrashAt = leaf.FirstICount
+		}
+		eng, sig, err := harness.Execute(app, w, opts, hooks...)
+		res.EngineEvents += eng.Events()
+		if err != nil {
+			// The workload failed before the failure point — the run
+			// diverged (should not happen with deterministic targets).
+			continue
+		}
+		if sig == nil {
+			if cfg.StackMode {
+				// No unvisited failure point was reached; done.
+				return false
+			}
+			// The target counter was never reached; skip this leaf.
+			continue
+		}
+		injected++
+		res.Injections++
+
+		// Materialise the graceful-crash image and run the vanilla,
+		// uninstrumented recovery procedure on it (§4.1).
+		img := eng.PrefixImage()
+		out := oracle.Check(app, img)
+		res.Recoveries++
+		if !out.Consistent() {
+			detail := out.Describe()
+			if out.Verdict == oracle.Crashed && out.PanicTrace != "" {
+				// Provide the recovery call trace for abrupt failures.
+				detail += "\nrecovery trace:\n" + truncate(out.PanicTrace, 800)
+			}
+			stackID := sig.Stack
+			if leaf != nil {
+				stackID = leaf.Stack
+			} else if inj != nil && inj.Fired != nil {
+				stackID = inj.Fired.Stack
+			}
+			rep.Add(report.Finding{
+				Kind:   report.CrashConsistency,
+				ICount: sig.ICount,
+				Stack:  stackID,
+				Detail: detail,
+			})
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "\n    ..."
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CodeSize measures a target's codebase size for the Fig 5 x-axis. The
+// paper counts "lines ending in a semicolon for the target and their PM
+// dependencies"; the Go analogue counts non-empty, non-comment source
+// lines of the application package plus the PM substrate packages it is
+// built on.
+func CodeSize(target string) (int, error) {
+	dirs, ok := codeDirs[target]
+	if !ok {
+		return 0, os.ErrNotExist
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, d := range dirs {
+		n, err := countDir(filepath.Join(root, d))
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// codeDirs maps Fig 5 targets to their source directories (application
+// plus PM dependencies), mirroring the paper's "target and their PM
+// dependencies (for example, PMDK)".
+var codeDirs = map[string][]string{
+	"cmap":                {"internal/apps/pmemkv", "internal/pmdk"},
+	"stree":               {"internal/apps/pmemkv", "internal/pmdk"},
+	"montage-hashtable":   {"internal/apps/montageht", "internal/montage"},
+	"montage-lfhashtable": {"internal/apps/montageht", "internal/montage"},
+	"redis":               {"internal/apps/redis", "internal/pmdk"},
+	"rocksdb":             {"internal/apps/rocksdb", "internal/pmdk"},
+	"btree":               {"internal/apps/btree", "internal/pmdk"},
+	"rbtree":              {"internal/apps/rbtree", "internal/pmdk"},
+	"hashmap":             {"internal/apps/hashatomic", "internal/pmdk"},
+	"levelhash":           {"internal/apps/levelhash", "internal/pmdk"},
+	"cceh":                {"internal/apps/cceh", "internal/pmdk"},
+	"fastfair":            {"internal/apps/fastfair", "internal/pmdk"},
+	"wort":                {"internal/apps/wort", "internal/pmdk"},
+	"art":                 {"internal/apps/art", "internal/pmdk"},
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+// countDir counts non-empty, non-comment, non-test Go source lines.
+func countDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return 0, err
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "//") {
+				continue
+			}
+			total++
+		}
+		f.Close()
+	}
+	return total, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mumak/internal/apps"
+	"mumak/internal/core"
+	"mumak/internal/fpt"
+	"mumak/internal/workload"
+)
+
+// Fig3Sizes scales the paper's workload sizes (3 000 … 300 000) down by
+// the given divisor, preserving the non-linear x axis.
+func Fig3Sizes(divisor int) []int {
+	if divisor <= 0 {
+		divisor = 1
+	}
+	base := []int{3000, 6000, 15000, 30000, 75000, 150000, 300000}
+	out := make([]int, len(base))
+	for i, b := range base {
+		out[i] = b / divisor
+		if out[i] < 10 {
+			out[i] = 10
+		}
+	}
+	return out
+}
+
+// fig3Targets are the three PMDK data stores of Fig 3.
+var fig3Targets = []string{"btree", "rbtree", "hashmap"}
+
+// Fig3 measures the number of unique execution paths leading to
+// persistency instructions (Fig 3a) and to stores to PM (Fig 3b) as a
+// function of workload size (E1 / claim C1: larger workloads are needed
+// for coverage).
+func Fig3(sizes []int, seed int64) (fig3a, fig3b []Series, err error) {
+	for _, g := range []fpt.Granularity{fpt.GranPersistency, fpt.GranStore} {
+		var out []Series
+		for _, target := range fig3Targets {
+			s := Series{Label: target}
+			for _, n := range sizes {
+				app, err := apps.New(target, apps.Config{PoolSize: poolFor(n)})
+				if err != nil {
+					return nil, nil, err
+				}
+				w := workload.Generate(workload.Config{N: n, Seed: seed})
+				res, err := core.Analyze(app, w, core.Config{
+					Granularity:           g,
+					DisableFaultInjection: true,
+					DisableTraceAnalysis:  true,
+				})
+				if err != nil {
+					return nil, nil, fmt.Errorf("fig3 %s n=%d: %w", target, n, err)
+				}
+				s.Points = append(s.Points, Point{X: float64(n), Y: float64(res.Tree.Len())})
+			}
+			out = append(out, s)
+		}
+		if g == fpt.GranPersistency {
+			fig3a = out
+		} else {
+			fig3b = out
+		}
+	}
+	return fig3a, fig3b, nil
+}
+
+// poolFor sizes the simulated pool to the workload.
+func poolFor(ops int) int {
+	size := ops * 1024
+	if size < 1<<20 {
+		size = 1 << 20
+	}
+	if size > 256<<20 {
+		size = 256 << 20
+	}
+	return size
+}

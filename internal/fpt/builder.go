@@ -1,0 +1,130 @@
+package fpt
+
+import (
+	"mumak/internal/pmem"
+	"mumak/internal/stack"
+)
+
+// Granularity selects which instructions constitute failure points
+// (§4.1: store level vs persistency-instruction level).
+type Granularity uint8
+
+// Failure-point granularities.
+const (
+	// GranPersistency treats flushes and fences as failure points —
+	// Mumak's default, which covers all atomicity and the vast
+	// majority of ordering bugs with roughly an order of magnitude
+	// fewer points than GranStore (Fig 3).
+	GranPersistency Granularity = iota
+	// GranStore treats every store to PM as a failure point — best
+	// post-failure-state coverage, largest search space.
+	GranStore
+)
+
+// Builder is a pmem.Hook that constructs the failure point tree during
+// the instrumented workload run (steps 4-5 of Fig 1).
+type Builder struct {
+	// Tree receives the failure points.
+	Tree *Tree
+	// Granularity selects the failure-point definition.
+	Granularity Granularity
+	// storeSinceLast implements the §4.1 optimisation: a persistency
+	// instruction is only a failure point if at least one PM store
+	// happened since the last failure point, since otherwise the
+	// post-failure state is equivalent to the previous one.
+	storeSinceLast bool
+	// NewLeaves counts leaves this builder added.
+	NewLeaves int
+}
+
+// NewBuilder returns a builder inserting into tree.
+func NewBuilder(tree *Tree, g Granularity) *Builder {
+	return &Builder{Tree: tree, Granularity: g}
+}
+
+// OnEvent implements pmem.Hook.
+func (b *Builder) OnEvent(ev *pmem.Event) {
+	switch ev.Op.Kind() {
+	case pmem.KindStore:
+		if b.Granularity == GranStore {
+			b.insert(ev)
+			return
+		}
+		b.storeSinceLast = true
+	case pmem.KindFlush, pmem.KindFence:
+		if b.Granularity != GranPersistency {
+			return
+		}
+		if b.storeSinceLast {
+			b.insert(ev)
+			b.storeSinceLast = false
+		}
+		if ev.Op == pmem.OpRMW {
+			// The RMW writes as well as fences.
+			b.storeSinceLast = true
+		}
+	}
+}
+
+func (b *Builder) insert(ev *pmem.Event) {
+	if ev.Stack == stack.NoID {
+		return
+	}
+	if _, added := b.Tree.Insert(ev.Stack, ev.ICount); added {
+		b.NewLeaves++
+	}
+}
+
+// Injector is a pmem.Hook that crashes the execution at a chosen
+// failure point. In counter mode (deterministic targets) it crashes when
+// the instruction counter reaches the leaf's recorded first occurrence;
+// in stack mode it matches call stacks against unvisited leaves, which
+// requires stack capture but no determinism.
+type Injector struct {
+	// Tree is consulted in stack mode.
+	Tree *Tree
+	// TargetICount crashes at this instruction counter when non-zero.
+	TargetICount uint64
+	// StackMode matches stacks instead of counters.
+	StackMode bool
+	// Granularity must match the tree's.
+	Granularity Granularity
+	// Fired is set to the leaf that triggered the crash.
+	Fired *Leaf
+
+	storeSinceLast bool
+}
+
+// OnEvent implements pmem.Hook; it panics with *pmem.CrashSignal at the
+// selected failure point, before the instruction takes effect.
+func (in *Injector) OnEvent(ev *pmem.Event) {
+	if !in.StackMode {
+		if in.TargetICount != 0 && ev.ICount == in.TargetICount {
+			panic(&pmem.CrashSignal{ICount: ev.ICount, Stack: ev.Stack, Reason: "failure point (counter mode)"})
+		}
+		return
+	}
+	isFP := false
+	switch in.Granularity {
+	case GranStore:
+		isFP = ev.Op.Kind() == pmem.KindStore
+	case GranPersistency:
+		switch ev.Op.Kind() {
+		case pmem.KindStore:
+			in.storeSinceLast = true
+		case pmem.KindFlush, pmem.KindFence:
+			isFP = in.storeSinceLast
+		}
+	}
+	if !isFP || ev.Stack == stack.NoID {
+		return
+	}
+	in.storeSinceLast = false
+	leaf := in.Tree.Lookup(ev.Stack)
+	if leaf == nil || leaf.Visited {
+		return
+	}
+	leaf.Visited = true
+	in.Fired = leaf
+	panic(&pmem.CrashSignal{ICount: ev.ICount, Stack: ev.Stack, Reason: "failure point (stack mode)"})
+}

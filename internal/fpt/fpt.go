@@ -1,0 +1,182 @@
+// Package fpt implements Mumak's failure point tree (§4.1, Fig 2).
+//
+// Each node is an instruction address (a call-site program counter); each
+// unique root-to-leaf path is the call stack of a unique failure point —
+// a point in the execution considered prone to leaving PM inconsistent if
+// the system crashed there. The tree deduplicates code paths: injecting
+// one fault per leaf explores every unique path to a persistency
+// instruction while skipping the equivalent post-failure states that
+// repeated visits would generate.
+package fpt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mumak/internal/stack"
+)
+
+// Leaf is one unique failure point.
+type Leaf struct {
+	// ID numbers leaves in insertion order.
+	ID int
+	// Stack is the interned call stack of the failure point.
+	Stack stack.ID
+	// FirstICount is the engine instruction counter of the first
+	// execution that reached this failure point. With a deterministic
+	// target, re-running the workload and crashing at this counter
+	// reproduces exactly this failure point (the instruction-counter
+	// optimisation of §5).
+	FirstICount uint64
+	// Visited marks leaves already used for fault injection.
+	Visited bool
+}
+
+type node struct {
+	pc       uintptr
+	children map[uintptr]*node
+	leaf     *Leaf
+}
+
+// Tree is the failure point tree. The zero value is not usable; call New.
+type Tree struct {
+	root   *node
+	leaves []*Leaf
+	// stacks resolves interned IDs to PCs for insertion and rendering.
+	stacks *stack.Table
+	// nodes counts tree nodes, a proxy for the pre-allocated memory of
+	// the Pin implementation.
+	nodes int
+}
+
+// New returns an empty tree backed by the given stack table.
+func New(stacks *stack.Table) *Tree {
+	return &Tree{root: &node{children: make(map[uintptr]*node)}, stacks: stacks}
+}
+
+// Stacks returns the backing stack table.
+func (t *Tree) Stacks() *stack.Table { return t.stacks }
+
+// Insert adds the call stack identified by id, reached first at
+// instruction counter icount, and returns the leaf plus whether it was
+// newly created. Stacks are inserted outermost-frame-first, so shared
+// prefixes (common callers) share tree nodes, exactly as in Fig 2.
+func (t *Tree) Insert(id stack.ID, icount uint64) (*Leaf, bool) {
+	pcs := t.stacks.PCs(id)
+	if len(pcs) == 0 {
+		return nil, false
+	}
+	cur := t.root
+	// pcs is innermost-first; walk from the outermost frame down.
+	for i := len(pcs) - 1; i >= 0; i-- {
+		pc := pcs[i]
+		next := cur.children[pc]
+		if next == nil {
+			next = &node{pc: pc, children: make(map[uintptr]*node)}
+			cur.children[pc] = next
+			t.nodes++
+		}
+		cur = next
+	}
+	if cur.leaf != nil {
+		return cur.leaf, false
+	}
+	leaf := &Leaf{ID: len(t.leaves), Stack: id, FirstICount: icount}
+	cur.leaf = leaf
+	t.leaves = append(t.leaves, leaf)
+	return leaf, true
+}
+
+// Lookup returns the leaf for the call stack, or nil.
+func (t *Tree) Lookup(id stack.ID) *Leaf {
+	pcs := t.stacks.PCs(id)
+	if len(pcs) == 0 {
+		return nil
+	}
+	cur := t.root
+	for i := len(pcs) - 1; i >= 0; i-- {
+		cur = cur.children[pcs[i]]
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur.leaf
+}
+
+// Leaves returns all leaves in insertion order. The slice is shared; do
+// not modify it.
+func (t *Tree) Leaves() []*Leaf { return t.leaves }
+
+// Len returns the number of unique failure points.
+func (t *Tree) Len() int { return len(t.leaves) }
+
+// Nodes returns the number of internal tree nodes.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Unvisited returns the leaves not yet used for fault injection, in
+// FirstICount order, so injection proceeds in execution order.
+func (t *Tree) Unvisited() []*Leaf {
+	var out []*Leaf
+	for _, l := range t.leaves {
+		if !l.Visited {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstICount < out[j].FirstICount })
+	return out
+}
+
+// ResetVisited clears all visited marks.
+func (t *Tree) ResetVisited() {
+	for _, l := range t.leaves {
+		l.Visited = false
+	}
+}
+
+// String renders the tree in the style of Fig 2: one line per node,
+// indented by depth, leaves annotated with their ID and first counter.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		kids := make([]*node, 0, len(n.children))
+		for _, c := range n.children {
+			kids = append(kids, c)
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].pc < kids[j].pc })
+		for _, c := range kids {
+			fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth), t.frameLabel(c.pc))
+			if c.leaf != nil {
+				fmt.Fprintf(&sb, "%s* failure point #%d (first at instruction %d)\n",
+					strings.Repeat("  ", depth+1), c.leaf.ID, c.leaf.FirstICount)
+			}
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return sb.String()
+}
+
+func (t *Tree) frameLabel(pc uintptr) string {
+	frames := t.stacks.Frames(t.stacks.Intern([]uintptr{pc}))
+	if len(frames) == 0 || frames[0].Function == "" {
+		return fmt.Sprintf("0x%x", pc)
+	}
+	f := frames[0]
+	return fmt.Sprintf("%s at %s:%d", shortFunc(f.Function), shortFile(f.File), f.Line)
+}
+
+func shortFunc(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,271 @@
+package fpt_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	. "mumak/internal/fpt"
+	"mumak/internal/pmem"
+	"mumak/internal/stack"
+)
+
+func TestInsertDeduplicatesPaths(t *testing.T) {
+	st := stack.NewTable()
+	tree := New(st)
+	a := st.Intern([]uintptr{10, 20, 30}) // innermost-first
+	b := st.Intern([]uintptr{11, 20, 30}) // same callers, different leaf
+	l1, added1 := tree.Insert(a, 5)
+	l2, added2 := tree.Insert(a, 9)
+	l3, added3 := tree.Insert(b, 12)
+	if !added1 || added2 || !added3 {
+		t.Fatalf("added flags: %v %v %v", added1, added2, added3)
+	}
+	if l1 != l2 {
+		t.Fatal("same stack produced two leaves")
+	}
+	if l1.FirstICount != 5 {
+		t.Fatalf("first icount %d, want 5 (first occurrence)", l1.FirstICount)
+	}
+	if l3.ID == l1.ID {
+		t.Fatal("distinct stacks share a leaf ID")
+	}
+	if tree.Len() != 2 {
+		t.Fatalf("tree has %d leaves, want 2", tree.Len())
+	}
+	// Shared caller prefix 30->20 plus two leaf nodes = 4 nodes.
+	if tree.Nodes() != 4 {
+		t.Fatalf("tree has %d nodes, want 4 (shared prefix)", tree.Nodes())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	st := stack.NewTable()
+	tree := New(st)
+	id := st.Intern([]uintptr{1, 2, 3})
+	leaf, _ := tree.Insert(id, 1)
+	if got := tree.Lookup(id); got != leaf {
+		t.Fatal("lookup did not find inserted stack")
+	}
+	other := st.Intern([]uintptr{9, 2, 3})
+	if got := tree.Lookup(other); got != nil {
+		t.Fatal("lookup found a never-inserted stack")
+	}
+	// A strict prefix of an inserted path is not a failure point.
+	prefix := st.Intern([]uintptr{2, 3})
+	if got := tree.Lookup(prefix); got != nil {
+		t.Fatal("lookup matched an interior node")
+	}
+}
+
+func TestUnvisitedOrderAndReset(t *testing.T) {
+	st := stack.NewTable()
+	tree := New(st)
+	la, _ := tree.Insert(st.Intern([]uintptr{1}), 50)
+	lb, _ := tree.Insert(st.Intern([]uintptr{2}), 10)
+	lc, _ := tree.Insert(st.Intern([]uintptr{3}), 30)
+	got := tree.Unvisited()
+	if len(got) != 3 || got[0] != lb || got[1] != lc || got[2] != la {
+		t.Fatalf("unvisited order wrong: %+v", got)
+	}
+	lb.Visited = true
+	if n := len(tree.Unvisited()); n != 2 {
+		t.Fatalf("unvisited after visit = %d", n)
+	}
+	tree.ResetVisited()
+	if n := len(tree.Unvisited()); n != 3 {
+		t.Fatalf("unvisited after reset = %d", n)
+	}
+}
+
+func TestPropertyInsertLookupRoundTrip(t *testing.T) {
+	st := stack.NewTable()
+	tree := New(st)
+	f := func(raw [][]uint16) bool {
+		ids := make([]stack.ID, 0, len(raw))
+		for _, r := range raw {
+			if len(r) == 0 {
+				continue
+			}
+			pcs := make([]uintptr, len(r))
+			for i, v := range r {
+				pcs[i] = uintptr(v) + 1
+			}
+			ids = append(ids, st.Intern(pcs))
+		}
+		leaves := map[stack.ID]*Leaf{}
+		for i, id := range ids {
+			l, _ := tree.Insert(id, uint64(i+1))
+			leaves[id] = l
+		}
+		for id, want := range leaves {
+			if tree.Lookup(id) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pmApp is a tiny PM program with two distinct code paths reaching a
+// persistency instruction, mirroring the sample program of Fig 2.
+type pmApp struct{ e *pmem.Engine }
+
+//go:noinline
+func (a *pmApp) persist(addr uint64) {
+	a.e.CLWB(addr)
+	a.e.SFence()
+}
+
+//go:noinline
+func (a *pmApp) mainPath() {
+	a.e.Store64(0, 1)
+	a.e.Store64(8, 2) // second store call site: extra store-granularity path
+	a.persist(0)
+}
+
+//go:noinline
+func (a *pmApp) loopPath() {
+	for i := 0; i < 3; i++ {
+		a.e.Store64(64, uint64(i))
+		a.persist(64)
+	}
+}
+
+func buildTree(t *testing.T, g Granularity) (*Tree, *pmem.Engine) {
+	t.Helper()
+	st := stack.NewTable()
+	capture := pmem.CapturePersistency
+	if g == GranStore {
+		capture = pmem.CaptureStores
+	}
+	e := pmem.NewEngine(pmem.Options{PoolSize: 4096, Capture: capture, Stacks: st})
+	tree := New(st)
+	e.AttachHook(NewBuilder(tree, g))
+	app := &pmApp{e: e}
+	app.mainPath()
+	app.loopPath()
+	return tree, e
+}
+
+func TestBuilderFindsUniquePaths(t *testing.T) {
+	tree, _ := buildTree(t, GranPersistency)
+	// Two unique code paths reach the flush in persist (via mainPath
+	// and via loopPath); the fences carry no store since the preceding
+	// flush, so the store-gating suppresses them. The loop's three
+	// iterations share one path.
+	if tree.Len() != 2 {
+		t.Fatalf("tree has %d failure points, want 2:\n%s", tree.Len(), tree)
+	}
+	for _, l := range tree.Leaves() {
+		if l.FirstICount == 0 {
+			t.Error("leaf missing first instruction counter")
+		}
+	}
+}
+
+func TestBuilderStoreGranularity(t *testing.T) {
+	ptree, _ := buildTree(t, GranPersistency)
+	stree, _ := buildTree(t, GranStore)
+	if stree.Len() <= ptree.Len() {
+		t.Fatalf("store granularity found %d points, persistency %d; want more",
+			stree.Len(), ptree.Len())
+	}
+}
+
+func TestBuilderStoreGating(t *testing.T) {
+	st := stack.NewTable()
+	e := pmem.NewEngine(pmem.Options{PoolSize: 4096, Capture: pmem.CapturePersistency, Stacks: st})
+	tree := New(st)
+	b := NewBuilder(tree, GranPersistency)
+	e.AttachHook(b)
+	e.Store64(0, 1)
+	e.CLWB(0)  // failure point (store happened)
+	e.SFence() // gated out (no store since the flush)
+	e.SFence() // gated out
+	if tree.Len() != 1 {
+		t.Fatalf("gating failed: %d failure points, want 1\n%s", tree.Len(), tree)
+	}
+}
+
+func TestTreeStringRendersFig2Style(t *testing.T) {
+	tree, _ := buildTree(t, GranPersistency)
+	s := tree.String()
+	if !strings.Contains(s, "failure point #") {
+		t.Errorf("rendering lacks failure point markers:\n%s", s)
+	}
+	if !strings.Contains(s, "persist") {
+		t.Errorf("rendering lacks function names:\n%s", s)
+	}
+}
+
+func TestInjectorCounterMode(t *testing.T) {
+	tree, _ := buildTree(t, GranPersistency)
+	target := tree.Leaves()[1].FirstICount
+
+	st := stack.NewTable()
+	e := pmem.NewEngine(pmem.Options{PoolSize: 4096, Capture: pmem.CaptureNone, Stacks: st})
+	inj := &Injector{TargetICount: target}
+	e.AttachHook(inj)
+	app := &pmApp{e: e}
+	var sig *pmem.CrashSignal
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				sig = r.(*pmem.CrashSignal)
+			}
+		}()
+		app.mainPath()
+		app.loopPath()
+	}()
+	if sig == nil {
+		t.Fatal("injector never fired")
+	}
+	if sig.ICount != target {
+		t.Fatalf("crashed at %d, want %d", sig.ICount, target)
+	}
+}
+
+func TestInjectorStackMode(t *testing.T) {
+	// Both phases drive the application from the same call site so
+	// that call stacks — and therefore failure-point identities —
+	// agree between the tree-construction and injection runs, as they
+	// do when the core pipeline re-executes the same binary.
+	st := stack.NewTable()
+	tree := New(st)
+	var injectors []*Injector
+	for phase := 0; phase < 3; phase++ {
+		e := pmem.NewEngine(pmem.Options{PoolSize: 4096, Capture: pmem.CapturePersistency, Stacks: st})
+		if phase == 0 {
+			e.AttachHook(NewBuilder(tree, GranPersistency))
+		} else {
+			inj := &Injector{Tree: tree, StackMode: true, Granularity: GranPersistency}
+			injectors = append(injectors, inj)
+			e.AttachHook(inj)
+		}
+		app := &pmApp{e: e}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					_ = r.(*pmem.CrashSignal)
+				}
+			}()
+			app.mainPath()
+			app.loopPath()
+		}()
+	}
+	if injectors[0].Fired == nil {
+		t.Fatalf("stack-mode injector never fired (tree has %d leaves)", tree.Len())
+	}
+	if !injectors[0].Fired.Visited {
+		t.Fatal("fired leaf not marked visited")
+	}
+	// The second injection run skips the visited leaf and fires on the
+	// next unvisited one.
+	if injectors[1].Fired == nil || injectors[1].Fired == injectors[0].Fired {
+		t.Fatalf("second injection did not advance: %+v", injectors[1].Fired)
+	}
+}

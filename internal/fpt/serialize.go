@@ -1,0 +1,57 @@
+package fpt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mumak/internal/stack"
+)
+
+// wireLeaf is the serialised form of one failure point.
+type wireLeaf struct {
+	PCs         []uintptr
+	FirstICount uint64
+	Visited     bool
+}
+
+// wireTree is the serialised tree: the leaves with their full call
+// stacks; the trie is rebuilt on load.
+type wireTree struct {
+	Leaves []wireLeaf
+}
+
+// Encode serialises the tree (step 5 of Fig 1 stores it in a file so a
+// later fault-injection execution can deserialise it). Program counters
+// are only stable within one process image — the same constraint that
+// makes the original pre-allocate Pin's memory and disable address-space
+// randomisation (§5, A.3).
+func (t *Tree) Encode(w io.Writer) error {
+	wt := wireTree{Leaves: make([]wireLeaf, 0, len(t.leaves))}
+	for _, l := range t.leaves {
+		pcs := t.stacks.PCs(l.Stack)
+		cp := make([]uintptr, len(pcs))
+		copy(cp, pcs)
+		wt.Leaves = append(wt.Leaves, wireLeaf{PCs: cp, FirstICount: l.FirstICount, Visited: l.Visited})
+	}
+	return gob.NewEncoder(w).Encode(&wt)
+}
+
+// ReadTree deserialises a tree into the given stack table, rebuilding
+// the trie and re-interning every stack.
+func ReadTree(r io.Reader, stacks *stack.Table) (*Tree, error) {
+	var wt wireTree
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("fpt: decoding tree: %w", err)
+	}
+	t := New(stacks)
+	for _, wl := range wt.Leaves {
+		id := stacks.Intern(wl.PCs)
+		leaf, added := t.Insert(id, wl.FirstICount)
+		if !added {
+			return nil, fmt.Errorf("fpt: duplicate failure point in serialised tree")
+		}
+		leaf.Visited = wl.Visited
+	}
+	return t, nil
+}

@@ -1,0 +1,79 @@
+package fpt_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	. "mumak/internal/fpt"
+	"mumak/internal/stack"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	st := stack.NewTable()
+	tree := New(st)
+	a, _ := tree.Insert(st.Intern([]uintptr{10, 20, 30}), 5)
+	tree.Insert(st.Intern([]uintptr{11, 20, 30}), 9)
+	a.Visited = true
+
+	var buf bytes.Buffer
+	if err := tree.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := stack.NewTable()
+	got, err := ReadTree(&buf, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("restored %d leaves, want 2", got.Len())
+	}
+	// The visited mark and counters survive; ordering by FirstICount.
+	unvisited := got.Unvisited()
+	if len(unvisited) != 1 || unvisited[0].FirstICount != 9 {
+		t.Fatalf("unvisited after restore: %+v", unvisited)
+	}
+	// Lookup works against re-interned stacks.
+	if got.Lookup(st2.Intern([]uintptr{10, 20, 30})) == nil {
+		t.Fatal("restored tree lost a path")
+	}
+}
+
+func TestReadTreeRejectsGarbage(t *testing.T) {
+	if _, err := ReadTree(bytes.NewReader([]byte("not a tree")), stack.NewTable()); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestPropertySerializePreservesLeaves(t *testing.T) {
+	f := func(raw [][]uint16, icounts []uint64) bool {
+		st := stack.NewTable()
+		tree := New(st)
+		for i, r := range raw {
+			if len(r) == 0 {
+				continue
+			}
+			pcs := make([]uintptr, len(r))
+			for j, v := range r {
+				pcs[j] = uintptr(v) + 1
+			}
+			ic := uint64(i + 1)
+			if i < len(icounts) {
+				ic = icounts[i]%1000 + 1
+			}
+			tree.Insert(st.Intern(pcs), ic)
+		}
+		var buf bytes.Buffer
+		if err := tree.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTree(&buf, stack.NewTable())
+		if err != nil {
+			return false
+		}
+		return got.Len() == tree.Len() && got.Nodes() == tree.Nodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

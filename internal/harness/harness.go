@@ -1,0 +1,113 @@
+// Package harness defines the contract between analysis tools and the
+// applications under test.
+//
+// An Application is the analogue of the paper's "application binary plus
+// workload" input: tools may run it, crash it, and invoke its recovery
+// procedure, but see nothing of its internals. All PM access happens
+// through the pmem.Engine handed to the application, which is the
+// black-box observation channel.
+package harness
+
+import (
+	"fmt"
+
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Application is a PM program under test.
+type Application interface {
+	// Name identifies the target in reports.
+	Name() string
+	// PoolSize is the PM pool size in bytes the application requires
+	// for the workloads under test.
+	PoolSize() int
+	// Setup initialises a fresh (zeroed) pool: creates the pool layout
+	// and root data structures, as the application would on first run.
+	Setup(e *pmem.Engine) error
+	// Run executes the workload against the pool.
+	Run(e *pmem.Engine, w workload.Workload) error
+	// Recover is the application's recovery procedure: invoked after a
+	// restart, it attempts to bring the pool back to a consistent
+	// state. A non-nil error flags the state as unrecoverable — the
+	// signal Mumak's oracle relies on (§4.1). Recovery that panics is
+	// an abrupt recovery failure and likewise a bug.
+	Recover(e *pmem.Engine) error
+}
+
+// KV is a live key-value handle used by semantics-dependent tools
+// (Witcher's driver requirement, Table 3) and by output-equivalence
+// checking. Mumak itself never uses it.
+type KV interface {
+	// Put inserts or overwrites a key.
+	Put(key, val uint64) error
+	// Get returns the value and whether the key is present.
+	Get(key uint64) (uint64, bool, error)
+	// Delete removes a key; removing an absent key is not an error.
+	Delete(key uint64) error
+}
+
+// KVApplication is an application exposing key-value semantics.
+type KVApplication interface {
+	Application
+	// Open returns a live handle over an already set-up (or recovered)
+	// pool.
+	Open(e *pmem.Engine) (KV, error)
+}
+
+// RunKV drives a KV handle with a workload; it is the canonical Run
+// implementation for KVApplication targets.
+func RunKV(kv KV, w workload.Workload) error {
+	for i, op := range w.Ops {
+		var err error
+		switch op.Kind {
+		case workload.Put:
+			err = kv.Put(op.Key, op.Val)
+		case workload.Get:
+			_, _, err = kv.Get(op.Key)
+		case workload.Delete:
+			err = kv.Delete(op.Key)
+		}
+		if err != nil {
+			return fmt.Errorf("op %d (%s key=%d): %w", i, op.Kind, op.Key, err)
+		}
+	}
+	return nil
+}
+
+// Execute runs Setup and the workload on a fresh engine with the hooks
+// attached, converting an injected crash into a returned *pmem.CrashSignal.
+// Other panics propagate: a crash of the target itself outside fault
+// injection is a target bug the caller should not mask.
+func Execute(app Application, w workload.Workload, opts pmem.Options, hooks ...pmem.Hook) (eng *pmem.Engine, sig *pmem.CrashSignal, err error) {
+	if opts.PoolSize == 0 {
+		opts.PoolSize = app.PoolSize()
+	}
+	eng = pmem.NewEngine(opts)
+	for _, h := range hooks {
+		eng.AttachHook(h)
+	}
+	sig, err = runTrapped(func() error {
+		if err := app.Setup(eng); err != nil {
+			return fmt.Errorf("setup: %w", err)
+		}
+		return app.Run(eng, w)
+	})
+	return eng, sig, err
+}
+
+// runTrapped invokes f, converting a *pmem.CrashSignal panic into a
+// return value and passing every other panic through.
+func runTrapped(f func() error) (sig *pmem.CrashSignal, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cs, ok := r.(*pmem.CrashSignal); ok {
+				sig = cs
+				return
+			}
+			panic(r)
+		}
+	}()
+	err = f()
+	return
+}

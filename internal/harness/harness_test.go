@@ -1,0 +1,143 @@
+package harness_test
+
+import (
+	"errors"
+	"testing"
+
+	"mumak/internal/harness"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// scriptApp performs a fixed instruction sequence.
+type scriptApp struct {
+	setupErr error
+	runErr   error
+}
+
+func (s *scriptApp) Name() string  { return "script" }
+func (s *scriptApp) PoolSize() int { return 4096 }
+func (s *scriptApp) Setup(e *pmem.Engine) error {
+	e.Store64(0, 1)
+	e.CLWB(0)
+	e.SFence()
+	return s.setupErr
+}
+func (s *scriptApp) Run(e *pmem.Engine, w workload.Workload) error {
+	for range w.Ops {
+		e.Store64(8, 2)
+		e.CLWB(8)
+		e.SFence()
+	}
+	return s.runErr
+}
+func (s *scriptApp) Recover(e *pmem.Engine) error { return nil }
+
+func TestExecuteRunsSetupAndWorkload(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 3, Seed: 1})
+	eng, sig, err := harness.Execute(&scriptApp{}, w, pmem.Options{})
+	if err != nil || sig != nil {
+		t.Fatalf("err=%v sig=%v", err, sig)
+	}
+	// 3 events in setup + 3*3 in run.
+	if eng.ICount() != 12 {
+		t.Fatalf("icount = %d, want 12", eng.ICount())
+	}
+}
+
+func TestExecutePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := harness.Execute(&scriptApp{setupErr: boom}, workload.Workload{}, pmem.Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type crashHook struct{ at uint64 }
+
+func (h crashHook) OnEvent(ev *pmem.Event) {
+	if ev.ICount == h.at {
+		panic(&pmem.CrashSignal{ICount: ev.ICount, Reason: "test"})
+	}
+}
+
+func TestExecuteTrapsCrashSignal(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 3, Seed: 1})
+	eng, sig, err := harness.Execute(&scriptApp{}, w, pmem.Options{}, crashHook{at: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig == nil || sig.ICount != 5 {
+		t.Fatalf("sig = %+v", sig)
+	}
+	if eng.ICount() != 5 {
+		t.Fatalf("engine stopped at %d, want 5", eng.ICount())
+	}
+}
+
+func TestExecuteDoesNotSwallowOtherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic was swallowed")
+		}
+	}()
+	app := &scriptApp{}
+	harness.Execute(app, workload.Workload{}, pmem.Options{}, panicHook{})
+}
+
+type panicHook struct{}
+
+func (panicHook) OnEvent(*pmem.Event) { panic("not a crash signal") }
+
+// modelKV is an in-memory KV for RunKV testing.
+type modelKV struct {
+	m       map[uint64]uint64
+	failOn  workload.Kind
+	failErr error
+}
+
+func (m *modelKV) Put(k, v uint64) error {
+	if m.failErr != nil && m.failOn == workload.Put {
+		return m.failErr
+	}
+	m.m[k] = v
+	return nil
+}
+func (m *modelKV) Get(k uint64) (uint64, bool, error) {
+	v, ok := m.m[k]
+	return v, ok, nil
+}
+func (m *modelKV) Delete(k uint64) error {
+	delete(m.m, k)
+	return nil
+}
+
+func TestRunKVAppliesAllOps(t *testing.T) {
+	kv := &modelKV{m: map[uint64]uint64{}}
+	w := workload.Generate(workload.Config{N: 200, Seed: 3})
+	if err := harness.RunKV(kv, w); err != nil {
+		t.Fatal(err)
+	}
+	model := map[uint64]uint64{}
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case workload.Put:
+			model[op.Key] = op.Val
+		case workload.Delete:
+			delete(model, op.Key)
+		}
+	}
+	if len(kv.m) != len(model) {
+		t.Fatalf("kv has %d keys, model %d", len(kv.m), len(model))
+	}
+}
+
+func TestRunKVWrapsErrorsWithOpContext(t *testing.T) {
+	boom := errors.New("disk on fire")
+	kv := &modelKV{m: map[uint64]uint64{}, failOn: workload.Put, failErr: boom}
+	w := workload.Generate(workload.Config{N: 10, Seed: 4})
+	err := harness.RunKV(kv, w)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

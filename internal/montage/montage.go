@@ -1,0 +1,309 @@
+// Package montage reimplements the persistence runtime of Montage (Wen
+// et al., ICPP'21): a general system for buffered durable data
+// structures. Payloads live in PM behind Montage's own persistent
+// allocator (it does not use PMDK — the property that made it invisible
+// to PMDK-specific tools, §6.4); indexes are volatile and rebuilt from
+// payloads on recovery.
+//
+// The runtime ships with the two crash-consistency bugs Mumak found,
+// both confirmed and fixed upstream, gated behind Config.Buggy:
+//
+//   - Allocator misuse (urcs-sync/Montage pull #36): a payload's in-use
+//     marker is persisted before its contents exist, so a crash
+//     resurrects garbage payloads and recovery reconstructs a corrupt
+//     structure.
+//   - Allocator destruction (urcs-sync/Montage commit 3384e50): the
+//     shutdown path persists the clean marker before the allocator
+//     metadata checkpoint it vouches for, leaving a much narrower crash
+//     window in which the next open trusts stale allocation bounds.
+package montage
+
+import (
+	"errors"
+	"fmt"
+
+	"mumak/internal/pmem"
+)
+
+const (
+	magic = 0x4d4f4e5441474531 // "MONTAGE1"
+
+	hdrMagic    = 0x00
+	hdrClean    = 0x08 // u64: 1 = allocator checkpoint below is valid
+	hdrBump     = 0x10 // u64: allocation frontier checkpoint
+	hdrEpoch    = 0x20 // u64: persisted epoch
+	hdrCount    = 0x28 // u64: live payloads
+	hdrPayloads = 0x40 // payload region start
+
+	// Payload block layout. The integrity word seals the key at
+	// allocation time; free blocks reuse the key slot as their
+	// free-list link.
+	pState = 0x00 // u64: 0 free, 1 in use
+	pKey   = 0x08
+	pVal   = 0x10
+	pChk   = 0x18 // u64: key ^ chkSeal, written with the key
+	pSize  = 0x20
+
+	chkSeal = 0xC0FFEE5EA15ED001
+
+	stateFree  = 0
+	stateInUse = 1
+)
+
+// ErrOutOfSpace signals payload-region exhaustion.
+var ErrOutOfSpace = errors.New("montage: payload region exhausted")
+
+// ErrCorrupt signals a recovery-time consistency violation.
+var ErrCorrupt = errors.New("montage: corrupt state")
+
+// Config parameterises the runtime.
+type Config struct {
+	// BuggyAlloc enables the allocator-misuse bug (pull #36).
+	BuggyAlloc bool
+	// BuggyClose enables the allocator-destruction bug (commit
+	// 3384e50).
+	BuggyClose bool
+}
+
+// Runtime is an open Montage persistence domain over an engine.
+type Runtime struct {
+	e   *pmem.Engine
+	cfg Config
+	// Volatile allocator state: the bump frontier is checkpointed to
+	// the header on Close; the free list lives purely in DRAM and is
+	// rebuilt by scanning on open (buffered durability keeps
+	// reclamation metadata out of PM entirely).
+	bump     uint64
+	freeList []uint64
+}
+
+// Create formats the engine's pool for Montage.
+func Create(e *pmem.Engine, cfg Config) (*Runtime, error) {
+	r := &Runtime{e: e, cfg: cfg, bump: hdrPayloads}
+	e.Store64(hdrClean, 1)
+	e.Store64(hdrBump, hdrPayloads)
+	e.Store64(hdrEpoch, 0)
+	e.Store64(hdrCount, 0)
+	r.persist(hdrClean, 40)
+	e.Store64(hdrMagic, magic)
+	r.persist(hdrMagic, 8)
+	return r, nil
+}
+
+// Open attaches to an existing Montage pool, reconstructing the
+// allocator from the checkpoint (clean shutdown) or by scanning payloads
+// (crash).
+func Open(e *pmem.Engine, cfg Config) (*Runtime, error) {
+	if e.Load64(hdrMagic) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := &Runtime{e: e, cfg: cfg}
+	if e.Load64(hdrClean) == 1 {
+		r.bump = e.Load64(hdrBump)
+		r.rebuildFreeList()
+	} else {
+		// Crash: rebuild the allocator by scanning. Every block below
+		// the scan frontier that is not in use is free.
+		r.rebuildAllocator()
+	}
+	if r.bump < hdrPayloads || r.bump > uint64(e.Size()) {
+		return nil, fmt.Errorf("%w: allocation frontier 0x%x out of range", ErrCorrupt, r.bump)
+	}
+	// The pool is in (potentially dirty) use from here on.
+	e.Store64(hdrClean, 0)
+	r.persist(hdrClean, 8)
+	return r, nil
+}
+
+// NeverCreated reports whether the pool was never formatted.
+func NeverCreated(e *pmem.Engine) bool { return e.Load64(hdrMagic) == 0 }
+
+func (r *Runtime) rebuildAllocator() {
+	// The frontier is the highest block that was ever used plus one.
+	e := r.e
+	frontier := uint64(hdrPayloads)
+	for off := uint64(hdrPayloads); off+pSize <= uint64(e.Size()); off += pSize {
+		if e.Load64(off+pState) == stateInUse {
+			frontier = off + pSize
+		}
+	}
+	r.bump = frontier
+	r.rebuildFreeList()
+}
+
+// rebuildFreeList scans the region below the frontier for free blocks;
+// the list itself is volatile.
+func (r *Runtime) rebuildFreeList() {
+	r.freeList = r.freeList[:0]
+	for off := uint64(hdrPayloads); off < r.bump; off += pSize {
+		if r.e.Load64(off+pState) == stateFree {
+			r.freeList = append(r.freeList, off)
+		}
+	}
+}
+
+// Engine exposes the underlying engine.
+func (r *Runtime) Engine() *pmem.Engine { return r.e }
+
+func (r *Runtime) persist(off uint64, size int) {
+	first := off &^ (pmem.CacheLineSize - 1)
+	last := (off + uint64(size) - 1) &^ (pmem.CacheLineSize - 1)
+	for line := first; line <= last; line += pmem.CacheLineSize {
+		r.e.CLWB(line)
+	}
+	r.e.SFence()
+	// Montage emits no pmemcheck-style annotations: annotation-based
+	// tools cannot analyse it (§6.4).
+}
+
+// AllocPayload persists a new in-use payload holding (key, val) and
+// returns its offset.
+func (r *Runtime) AllocPayload(key, val uint64) (uint64, error) {
+	e := r.e
+	var off uint64
+	if n := len(r.freeList); n > 0 {
+		off = r.freeList[n-1]
+		r.freeList = r.freeList[:n-1]
+	} else {
+		if r.bump+pSize > uint64(e.Size()) {
+			return 0, ErrOutOfSpace
+		}
+		off = r.bump
+		r.bump += pSize
+	}
+	if r.cfg.BuggyAlloc {
+		// BUG (Montage pull #36 analogue): the in-use marker is
+		// persisted before the payload contents; a crash resurrects a
+		// garbage payload into the recovered structure.
+		e.Store64(off+pState, stateInUse)
+		r.persist(off+pState, 8)
+		e.Store64(off+pKey, key)
+		e.Store64(off+pVal, val)
+		e.Store64(off+pChk, key^chkSeal)
+		r.persist(off+pKey, 24)
+		return off, nil
+	}
+	e.Store64(off+pKey, key)
+	e.Store64(off+pVal, val)
+	e.Store64(off+pChk, key^chkSeal)
+	r.persist(off+pKey, 24)
+	e.Store64(off+pState, stateInUse)
+	r.persist(off+pState, 8)
+	return off, nil
+}
+
+// UpdatePayload atomically overwrites a payload's value.
+func (r *Runtime) UpdatePayload(off, val uint64) {
+	r.e.Store64(off+pVal, val)
+	r.persist(off+pVal, 8)
+}
+
+// FreePayload retires a payload: the persisted state flip is the commit
+// point; reclamation bookkeeping stays volatile.
+func (r *Runtime) FreePayload(off uint64) {
+	r.e.Store64(off+pState, stateFree)
+	r.persist(off+pState, 8)
+	r.freeList = append(r.freeList, off)
+}
+
+// Payload reads a payload's key and value.
+func (r *Runtime) Payload(off uint64) (key, val uint64) {
+	return r.e.Load64(off + pKey), r.e.Load64(off + pVal)
+}
+
+// SetCount persists the structure's element count.
+func (r *Runtime) SetCount(n uint64) {
+	r.e.Store64(hdrCount, n)
+	r.persist(hdrCount, 8)
+}
+
+// Count reads the persisted element count.
+func (r *Runtime) Count() uint64 { return r.e.Load64(hdrCount) }
+
+// AdvanceEpoch persists an epoch boundary (Montage's buffered-durability
+// sync point).
+func (r *Runtime) AdvanceEpoch() {
+	e := r.e
+	e.Store64(hdrEpoch, e.Load64(hdrEpoch)+1)
+	r.persist(hdrEpoch, 8)
+}
+
+// Scan invokes fn for every in-use payload below the allocation
+// frontier, the primitive recovery rebuilds indexes with.
+func (r *Runtime) Scan(fn func(off, key, val uint64) error) error {
+	e := r.e
+	for off := uint64(hdrPayloads); off < r.bump; off += pSize {
+		if e.Load64(off+pState) != stateInUse {
+			continue
+		}
+		if err := fn(off, e.Load64(off+pKey), e.Load64(off+pVal)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close checkpoints the allocator and marks the pool clean — the
+// "destruction of the allocator object" of §6.4.
+func (r *Runtime) Close() {
+	e := r.e
+	if r.cfg.BuggyClose {
+		// BUG (Montage commit 3384e50 analogue): the clean marker is
+		// persisted before the checkpoint it vouches for; the window
+		// is only a handful of instructions wide, but a crash inside
+		// it makes the next open trust a stale allocation frontier
+		// and hand out live payload blocks.
+		e.Store64(hdrClean, 1)
+		r.persist(hdrClean, 8)
+		e.Store64(hdrBump, r.bump)
+		r.persist(hdrBump, 8)
+		return
+	}
+	e.Store64(hdrBump, r.bump)
+	r.persist(hdrBump, 8)
+	e.Store64(hdrClean, 1)
+	r.persist(hdrClean, 8)
+}
+
+// Validate checks the payload region against the header: in-use payloads
+// must be unique per key and lie below the trusted frontier, and the
+// persisted count must reconcile (one lagging insert or delete is
+// repaired, matching the count disciplines of the structures above).
+func (r *Runtime) Validate() error {
+	e := r.e
+	seen := map[uint64]bool{}
+	var live uint64
+	maxUsed := uint64(hdrPayloads)
+	for off := uint64(hdrPayloads); off+pSize <= uint64(e.Size()); off += pSize {
+		if e.Load64(off+pState) != stateInUse {
+			continue
+		}
+		key := e.Load64(off + pKey)
+		if e.Load64(off+pChk) != key^chkSeal {
+			return fmt.Errorf("%w: payload 0x%x fails its key integrity check", ErrCorrupt, off)
+		}
+		if seen[key] {
+			return fmt.Errorf("%w: key %d has two live payloads", ErrCorrupt, key)
+		}
+		seen[key] = true
+		live++
+		maxUsed = off + pSize
+	}
+	// The allocator's trusted frontier (the checkpoint on a clean open,
+	// the scan result after a crash) must cover every live payload;
+	// a stale checkpoint would hand live blocks to future allocations.
+	if maxUsed > r.bump {
+		return fmt.Errorf("%w: trusted allocation frontier 0x%x below live payload at 0x%x",
+			ErrCorrupt, r.bump, maxUsed-pSize)
+	}
+	count := e.Load64(hdrCount)
+	switch {
+	case live == count:
+		return nil
+	case live == count+1:
+		r.SetCount(live)
+		return nil
+	default:
+		return fmt.Errorf("%w: count=%d but %d live payloads", ErrCorrupt, count, live)
+	}
+}

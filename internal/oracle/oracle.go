@@ -1,0 +1,102 @@
+// Package oracle runs an application's recovery procedure as a
+// consistency oracle over a crash image (§4.1).
+//
+// PM applications already ship a mechanism for distinguishing valid from
+// invalid states: the recovery procedure. When it fails — returning an
+// error, or crashing abruptly — the post-failure state is flagged as a
+// bug, without annotations or knowledge of the application semantics.
+// The oracle is imperfect: an incomplete recovery procedure yields false
+// negatives (the Level Hashing case of §6.2).
+package oracle
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"mumak/internal/harness"
+	"mumak/internal/pmem"
+)
+
+// Verdict classifies a recovery attempt.
+type Verdict uint8
+
+// Recovery verdicts.
+const (
+	// Consistent: recovery completed and accepted the state.
+	Consistent Verdict = iota
+	// Unrecoverable: recovery completed but flagged the state invalid.
+	Unrecoverable
+	// Crashed: recovery itself failed abruptly (the segmentation-fault
+	// analogue), which is reported with its own debug trace.
+	Crashed
+)
+
+var verdictNames = [...]string{
+	Consistent:    "consistent",
+	Unrecoverable: "unrecoverable",
+	Crashed:       "recovery crashed",
+}
+
+// String names the verdict.
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "verdict?"
+}
+
+// Outcome is the result of one oracle invocation.
+type Outcome struct {
+	// Verdict classifies the recovery attempt.
+	Verdict Verdict
+	// Err is the recovery error for Unrecoverable outcomes.
+	Err error
+	// PanicValue and PanicTrace describe a Crashed outcome, giving the
+	// developer the recovery call trace that led to the failure.
+	PanicValue any
+	PanicTrace string
+	// Engine is the post-recovery engine, available to tools that run
+	// additional checks (output equivalence) on the recovered state.
+	Engine *pmem.Engine
+}
+
+// Consistent reports whether recovery accepted the state.
+func (o Outcome) Consistent() bool { return o.Verdict == Consistent }
+
+// Describe renders the outcome for bug reports.
+func (o Outcome) Describe() string {
+	switch o.Verdict {
+	case Unrecoverable:
+		return fmt.Sprintf("recovery flagged the state unrecoverable: %v", o.Err)
+	case Crashed:
+		return fmt.Sprintf("recovery crashed abruptly: %v", o.PanicValue)
+	default:
+		return "state consistent"
+	}
+}
+
+// Check runs the application's recovery procedure, uninstrumented
+// ("vanilla recovery code", §4.1), on a fresh engine initialised from the
+// crash image.
+func Check(app harness.Application, img *pmem.Image) Outcome {
+	eng := pmem.NewEngineFromImage(pmem.Options{}, img)
+	return checkOn(app, eng)
+}
+
+func checkOn(app harness.Application, eng *pmem.Engine) (out Outcome) {
+	out.Engine = eng
+	defer func() {
+		if r := recover(); r != nil {
+			out.Verdict = Crashed
+			out.PanicValue = r
+			out.PanicTrace = string(debug.Stack())
+		}
+	}()
+	if err := app.Recover(eng); err != nil {
+		out.Verdict = Unrecoverable
+		out.Err = err
+		return out
+	}
+	out.Verdict = Consistent
+	return out
+}

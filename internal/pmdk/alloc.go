@@ -1,0 +1,98 @@
+package pmdk
+
+// Persistent heap allocator: a bump pointer plus a first-fit free list
+// with persistent metadata. The crash-consistency contract matches
+// libpmemobj's non-transactional allocator: interrupted operations can
+// leak blocks but never corrupt the heap.
+
+// free-list block header layout (within the free block itself).
+const (
+	fbSize = 0 // u64: block size
+	fbNext = 8 // u64: next free block offset, 0 = end
+)
+
+// Alloc returns the offset of a size-byte block (16-byte aligned).
+// Contents are unspecified; use Zero for cleared memory.
+func (p *Pool) Alloc(size int) (uint64, error) {
+	if size <= 0 {
+		size = allocAlign
+	}
+	need := align(uint64(size), allocAlign)
+	// First fit over the free list.
+	prev := uint64(0)
+	cur := p.e.Load64(offFreeHead)
+	for cur != 0 {
+		bsz := p.e.Load64(cur + fbSize)
+		next := p.e.Load64(cur + fbNext)
+		if bsz >= need {
+			// Unlink: a single 8-byte pointer update, persisted.
+			if prev == 0 {
+				p.e.Store64(offFreeHead, next)
+				p.Persist(offFreeHead, 8)
+			} else {
+				p.e.Store64(prev+fbNext, next)
+				p.Persist(prev+fbNext, 8)
+			}
+			return cur, nil
+		}
+		prev, cur = cur, next
+	}
+	// Bump allocation.
+	bump := p.e.Load64(offHeapBump)
+	end := p.e.Load64(offHeapEnd)
+	if bump+need > end {
+		return 0, ErrOutOfMemory
+	}
+	p.e.Store64(offHeapBump, bump+need)
+	p.Persist(offHeapBump, 8)
+	return bump, nil
+}
+
+// AllocZeroed allocates and clears a block.
+func (p *Pool) AllocZeroed(size int) (uint64, error) {
+	off, err := p.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	p.Zero(off, int(align(uint64(size), allocAlign)))
+	return off, nil
+}
+
+// Free returns a block to the free list. size must match the Alloc size.
+func (p *Pool) Free(off uint64, size int) {
+	if off == 0 {
+		return
+	}
+	need := align(uint64(size), allocAlign)
+	head := p.e.Load64(offFreeHead)
+	// Publish the block header first, then swing the head pointer; a
+	// crash between the two leaks the block but keeps the list intact.
+	p.e.Store64(off+fbSize, need)
+	p.e.Store64(off+fbNext, head)
+	p.Persist(off, 16)
+	p.e.Store64(offFreeHead, off)
+	p.Persist(offFreeHead, 8)
+}
+
+// Zero clears [off, off+size) with non-temporal stores and drains, like
+// pmem_memset_persist: the zeroes bypass the cache, so they neither
+// pollute it nor count as unpersisted cached writes.
+func (p *Pool) Zero(off uint64, size int) {
+	var zeros [256]byte
+	for size > 0 {
+		n := size
+		if n > len(zeros) {
+			n = len(zeros)
+		}
+		p.e.NTStore(off, zeros[:n])
+		off += uint64(n)
+		size -= n
+	}
+	p.Drain()
+}
+
+// HeapUsed returns the bytes consumed from the bump region, a proxy for
+// PM usage in resource accounting.
+func (p *Pool) HeapUsed() uint64 {
+	return p.e.Load64(offHeapBump) - align(p.rootOff+p.rootSize, allocAlign)
+}

@@ -1,0 +1,523 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mumak/internal/stack"
+)
+
+// line is one volatile cache line. data is a full copy of the line
+// contents; dirty has bit i set when byte i diverges from the medium.
+type line struct {
+	base  uint64
+	data  [CacheLineSize]byte
+	dirty uint64
+}
+
+// pending is an asynchronous write-back (clwb, clflushopt or ntstore)
+// that has left the cache but is not yet guaranteed durable: it becomes
+// durable at the next fence, or may be dropped by a power-cut crash.
+type pending struct {
+	base  uint64
+	data  [CacheLineSize]byte
+	dirty uint64
+	// icount is the instruction that issued the write-back.
+	icount uint64
+}
+
+// Engine simulates a single hardware thread issuing PM instructions
+// against a pool. It is not safe for concurrent use: the targets under
+// analysis execute deterministically on one goroutine, as required by the
+// instruction-counter optimisation of §5.
+type Engine struct {
+	opts   Options
+	medium []byte
+	lines  map[uint64]*line
+	queue  []pending
+	hooks  []Hook
+	anns   []AnnotationObserver
+	icount uint64
+	rng    *rand.Rand
+	stats  Stats
+	// evictable caches the keys of lines for seeded eviction.
+	evictKeys []uint64
+}
+
+// NewEngine creates an engine over a zeroed pool.
+func NewEngine(opts Options) *Engine {
+	o := opts.withDefaults()
+	return &Engine{
+		opts:   o,
+		medium: make([]byte, o.PoolSize),
+		lines:  make(map[uint64]*line),
+		rng:    rand.New(rand.NewSource(o.Seed)),
+	}
+}
+
+// NewEngineFromImage creates an engine whose medium is initialised from a
+// crash image, as happens when an application restarts after a failure.
+// The image is copied.
+func NewEngineFromImage(opts Options, img *Image) *Engine {
+	o := opts
+	o.PoolSize = len(img.Data)
+	e := NewEngine(o)
+	copy(e.medium, img.Data)
+	return e
+}
+
+// Size returns the pool size in bytes.
+func (e *Engine) Size() int { return len(e.medium) }
+
+// ICount returns the current instruction counter (the counter of the last
+// delivered event).
+func (e *Engine) ICount() uint64 { return e.icount }
+
+// Stacks returns the stack table used for capture, if any.
+func (e *Engine) Stacks() *stack.Table { return e.opts.Stacks }
+
+// AttachHook registers a hook; it also registers the hook as an
+// annotation observer when it implements AnnotationObserver.
+func (e *Engine) AttachHook(h Hook) {
+	e.hooks = append(e.hooks, h)
+	if ao, ok := h.(AnnotationObserver); ok {
+		e.anns = append(e.anns, ao)
+	}
+}
+
+// DetachHooks removes all hooks and annotation observers.
+func (e *Engine) DetachHooks() {
+	e.hooks = nil
+	e.anns = nil
+}
+
+func (e *Engine) check(addr uint64, size int) {
+	if size < 0 || addr > uint64(len(e.medium)) || addr+uint64(size) > uint64(len(e.medium)) {
+		panic(fmt.Sprintf("pmem: access [0x%x,0x%x) outside pool of %d bytes", addr, addr+uint64(size), len(e.medium)))
+	}
+}
+
+func (e *Engine) captureFor(op Opcode) stack.ID {
+	var want bool
+	switch e.opts.Capture {
+	case CaptureNone:
+		want = false
+	case CapturePersistency:
+		want = op.IsPersistency()
+	case CaptureStores:
+		want = op != OpLoad
+	case CaptureAll:
+		want = true
+	}
+	if !want {
+		return stack.NoID
+	}
+	// Skip captureFor, emit and the engine entry point; trimming in the
+	// stack table removes any residual instrumentation frames.
+	return e.opts.Stacks.Capture(3)
+}
+
+func (e *Engine) emit(op Opcode, addr uint64, size int, data []byte) {
+	e.icount++
+	if e.icount == e.opts.CrashAt {
+		panic(&CrashSignal{ICount: e.icount, Reason: "failure point (counter mode)"})
+	}
+	if len(e.hooks) == 0 && e.opts.Capture == CaptureNone {
+		return
+	}
+	ev := Event{
+		ICount: e.icount,
+		Op:     op,
+		Addr:   addr,
+		Size:   size,
+		Data:   data,
+		Stack:  e.captureFor(op),
+	}
+	for _, h := range e.hooks {
+		h.OnEvent(&ev)
+	}
+}
+
+// Annotate emits a library annotation to annotation observers. It is a
+// no-op for Mumak itself, which is annotation-free.
+func (e *Engine) Annotate(kind AnnKind, addr uint64, size int) {
+	if len(e.anns) == 0 {
+		return
+	}
+	a := Annotation{ICount: e.icount, Kind: kind, Addr: addr, Size: size}
+	for _, ao := range e.anns {
+		ao.OnAnnotation(&a)
+	}
+}
+
+// lineView returns the coherent contents of the line at base as seen by
+// a load when the line is not cached: the medium overlaid with any queued
+// (unfenced) write-backs, applied in issue order.
+func (e *Engine) lineView(base uint64) [CacheLineSize]byte {
+	var buf [CacheLineSize]byte
+	copy(buf[:], e.medium[base:base+CacheLineSize])
+	for i := range e.queue {
+		p := &e.queue[i]
+		if p.base != base {
+			continue
+		}
+		for b := 0; b < CacheLineSize; b++ {
+			if p.dirty&(1<<uint(b)) != 0 {
+				buf[b] = p.data[b]
+			}
+		}
+	}
+	return buf
+}
+
+func (e *Engine) lineFor(addr uint64) *line {
+	base := addr &^ (CacheLineSize - 1)
+	ln := e.lines[base]
+	if ln == nil {
+		ln = &line{base: base}
+		ln.data = e.lineView(base)
+		e.lines[base] = ln
+		e.evictKeys = append(e.evictKeys, base)
+		if n := len(e.lines); n > e.stats.PeakCacheLines {
+			e.stats.PeakCacheLines = n
+		}
+	}
+	return ln
+}
+
+// Store writes data to PM through the cache. The write is volatile until
+// the affected lines are flushed and fenced (or evicted).
+func (e *Engine) Store(addr uint64, data []byte) {
+	e.check(addr, len(data))
+	e.emit(OpStore, addr, len(data), data)
+	e.stats.Stores++
+	e.stats.BytesStored += uint64(len(data))
+	e.applyStore(addr, data)
+	e.maybeEvict()
+}
+
+func (e *Engine) applyStore(addr uint64, data []byte) {
+	for len(data) > 0 {
+		ln := e.lineFor(addr)
+		off := addr - ln.base
+		n := copy(ln.data[off:], data)
+		for i := 0; i < n; i++ {
+			ln.dirty |= 1 << (off + uint64(i))
+		}
+		addr += uint64(n)
+		data = data[n:]
+	}
+}
+
+// Store64 writes an aligned 8-byte value; such a write is
+// failure-atomic.
+func (e *Engine) Store64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.Store(addr, b[:])
+}
+
+// Store32 writes a 4-byte little-endian value through the cache.
+func (e *Engine) Store32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.Store(addr, b[:])
+}
+
+// NTStore performs a non-temporal store: the data bypasses the cache and
+// enters the write-pending queue directly, but is only guaranteed durable
+// after the next fence.
+func (e *Engine) NTStore(addr uint64, data []byte) {
+	e.check(addr, len(data))
+	e.emit(OpNTStore, addr, len(data), data)
+	e.stats.Stores++
+	e.stats.NTStores++
+	e.stats.BytesStored += uint64(len(data))
+	// Materialise the write as pending line images without dirtying the
+	// cache. If the line is currently cached, keep its volatile copy
+	// coherent so subsequent loads observe the new data.
+	for len(data) > 0 {
+		base := addr &^ (CacheLineSize - 1)
+		off := addr - base
+		n := CacheLineSize - int(off)
+		if n > len(data) {
+			n = len(data)
+		}
+		var p pending
+		p.base = base
+		p.icount = e.icount
+		if off != 0 || n != CacheLineSize {
+			// Partial-line NT store: seed with the coherent view. A
+			// full-line write needs no seed, which keeps bulk NT
+			// zeroing (pmem_memset) linear in the region size.
+			p.data = e.lineView(base)
+			if ln := e.lines[base]; ln != nil {
+				p.data = ln.data
+			}
+		}
+		copy(p.data[off:], data[:n])
+		for i := 0; i < n; i++ {
+			p.dirty |= 1 << (off + uint64(i))
+		}
+		if ln := e.lines[base]; ln != nil {
+			copy(ln.data[off:], data[:n])
+		}
+		e.queue = append(e.queue, p)
+		if q := len(e.queue); q > e.stats.PeakQueue {
+			e.stats.PeakQueue = q
+		}
+		addr += uint64(n)
+		data = data[n:]
+	}
+}
+
+// NTStore64 performs an aligned 8-byte non-temporal store.
+func (e *Engine) NTStore64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.NTStore(addr, b[:])
+}
+
+// Load reads size bytes at addr into a fresh slice, observing cached
+// (volatile) data when present.
+func (e *Engine) Load(addr uint64, size int) []byte {
+	e.check(addr, size)
+	e.emit(OpLoad, addr, size, nil)
+	e.stats.Loads++
+	out := make([]byte, size)
+	e.readInto(out, addr)
+	return out
+}
+
+// readInto fills out with the current (cache-coherent) view at addr.
+func (e *Engine) readInto(out []byte, addr uint64) {
+	for len(out) > 0 {
+		base := addr &^ (CacheLineSize - 1)
+		off := addr - base
+		n := CacheLineSize - int(off)
+		if n > len(out) {
+			n = len(out)
+		}
+		if ln := e.lines[base]; ln != nil {
+			copy(out[:n], ln.data[off:])
+		} else {
+			view := e.lineView(base)
+			copy(out[:n], view[off:])
+		}
+		addr += uint64(n)
+		out = out[n:]
+	}
+}
+
+// Load64 reads an aligned 8-byte little-endian value.
+func (e *Engine) Load64(addr uint64) uint64 {
+	var b [8]byte
+	e.check(addr, 8)
+	e.emit(OpLoad, addr, 8, nil)
+	e.stats.Loads++
+	e.readInto(b[:], addr)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Load32 reads a 4-byte little-endian value.
+func (e *Engine) Load32(addr uint64) uint32 {
+	var b [4]byte
+	e.check(addr, 4)
+	e.emit(OpLoad, addr, 4, nil)
+	e.stats.Loads++
+	e.readInto(b[:], addr)
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// CLFlush synchronously writes the line containing addr back to the
+// medium (and drops it from the cache).
+func (e *Engine) CLFlush(addr uint64) {
+	e.check(addr, 1)
+	base := addr &^ (CacheLineSize - 1)
+	e.emit(OpCLFlush, base, CacheLineSize, nil)
+	e.stats.Flushes++
+	// x86 orders flushes of the same line with each other: earlier
+	// asynchronous write-backs of this line complete first.
+	if len(e.queue) > 0 {
+		kept := e.queue[:0]
+		for i := range e.queue {
+			if e.queue[i].base == base {
+				e.applyPending(&e.queue[i])
+			} else {
+				kept = append(kept, e.queue[i])
+			}
+		}
+		e.queue = kept
+	}
+	if ln := e.lines[base]; ln != nil {
+		e.writeBack(ln)
+		delete(e.lines, base)
+	}
+}
+
+// CLFlushOpt asynchronously writes the line containing addr back and
+// invalidates it; the write-back is durable only after the next fence.
+func (e *Engine) CLFlushOpt(addr uint64) {
+	e.flushAsync(addr, OpCLFlushOpt, true)
+}
+
+// CLWB asynchronously writes the line containing addr back, keeping the
+// cached copy; the write-back is durable only after the next fence.
+func (e *Engine) CLWB(addr uint64) {
+	e.flushAsync(addr, OpCLWB, false)
+}
+
+func (e *Engine) flushAsync(addr uint64, op Opcode, invalidate bool) {
+	e.check(addr, 1)
+	base := addr &^ (CacheLineSize - 1)
+	e.emit(op, base, CacheLineSize, nil)
+	e.stats.Flushes++
+	ln := e.lines[base]
+	if ln == nil {
+		return
+	}
+	if ln.dirty != 0 {
+		p := pending{base: base, data: ln.data, dirty: ln.dirty, icount: e.icount}
+		e.queue = append(e.queue, p)
+		if q := len(e.queue); q > e.stats.PeakQueue {
+			e.stats.PeakQueue = q
+		}
+		ln.dirty = 0
+	}
+	if invalidate {
+		delete(e.lines, base)
+	}
+}
+
+// SFence drains the write-pending queue: every buffered flush and
+// non-temporal store issued before the fence becomes durable.
+func (e *Engine) SFence() {
+	e.emit(OpSFence, 0, 0, nil)
+	e.stats.Fences++
+	e.drain()
+}
+
+// MFence behaves like SFence for persistency purposes.
+func (e *Engine) MFence() {
+	e.emit(OpMFence, 0, 0, nil)
+	e.stats.Fences++
+	e.drain()
+}
+
+// CAS64 performs an aligned 8-byte compare-and-swap. Like hardware RMW
+// instructions it has fence semantics: it drains the write-pending queue.
+// The stored value itself lands in the cache and still requires an
+// explicit flush to be durable.
+func (e *Engine) CAS64(addr uint64, old, new uint64) bool {
+	e.check(addr, 8)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], new)
+	e.emit(OpRMW, addr, 8, b[:])
+	e.stats.Fences++
+	e.stats.RMWs++
+	e.drain()
+	var cur [8]byte
+	e.readInto(cur[:], addr)
+	if binary.LittleEndian.Uint64(cur[:]) != old {
+		return false
+	}
+	e.applyStore(addr, b[:])
+	return true
+}
+
+// FAA64 performs an aligned 8-byte fetch-and-add with fence semantics and
+// returns the previous value.
+func (e *Engine) FAA64(addr uint64, delta uint64) uint64 {
+	e.check(addr, 8)
+	var cur [8]byte
+	e.readInto(cur[:], addr)
+	prev := binary.LittleEndian.Uint64(cur[:])
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], prev+delta)
+	e.emit(OpRMW, addr, 8, b[:])
+	e.stats.Fences++
+	e.stats.RMWs++
+	e.drain()
+	e.applyStore(addr, b[:])
+	return prev
+}
+
+// drain makes every pending write-back durable, preserving issue order.
+func (e *Engine) drain() {
+	for i := range e.queue {
+		e.applyPending(&e.queue[i])
+	}
+	e.queue = e.queue[:0]
+}
+
+func (e *Engine) applyPending(p *pending) {
+	for i := 0; i < CacheLineSize; i++ {
+		if p.dirty&(1<<uint(i)) != 0 {
+			e.medium[p.base+uint64(i)] = p.data[i]
+		}
+	}
+}
+
+func (e *Engine) writeBack(ln *line) {
+	if ln.dirty == 0 {
+		return
+	}
+	for i := 0; i < CacheLineSize; i++ {
+		if ln.dirty&(1<<uint(i)) != 0 {
+			e.medium[ln.base+uint64(i)] = ln.data[i]
+		}
+	}
+	ln.dirty = 0
+}
+
+// maybeEvict spontaneously writes back a pseudo-random dirty line under
+// the seeded eviction policy.
+func (e *Engine) maybeEvict() {
+	if e.opts.Eviction != EvictSeeded || len(e.lines) == 0 {
+		return
+	}
+	if e.rng.Intn(e.opts.EvictOneIn) != 0 {
+		return
+	}
+	// Pick a pseudo-random cached line; compact stale keys lazily.
+	for tries := 0; tries < 4 && len(e.evictKeys) > 0; tries++ {
+		i := e.rng.Intn(len(e.evictKeys))
+		base := e.evictKeys[i]
+		ln := e.lines[base]
+		if ln == nil {
+			e.evictKeys[i] = e.evictKeys[len(e.evictKeys)-1]
+			e.evictKeys = e.evictKeys[:len(e.evictKeys)-1]
+			continue
+		}
+		e.writeBack(ln)
+		delete(e.lines, base)
+		e.stats.Evictions++
+		return
+	}
+}
+
+// DirtyLines returns the bases of currently dirty cache lines in
+// ascending order. Used by tests and by image construction.
+func (e *Engine) DirtyLines() []uint64 {
+	var out []uint64
+	for base, ln := range e.lines {
+		if ln.dirty != 0 {
+			out = append(out, base)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PendingCount returns the number of queued (unfenced) write-backs.
+func (e *Engine) PendingCount() int { return len(e.queue) }
+
+// LineDirty reports whether the cache line containing addr holds
+// unwritten-back store data. PM libraries use it to skip write-backs of
+// clean lines.
+func (e *Engine) LineDirty(addr uint64) bool {
+	ln := e.lines[addr&^(CacheLineSize-1)]
+	return ln != nil && ln.dirty != 0
+}

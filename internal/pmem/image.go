@@ -1,0 +1,87 @@
+package pmem
+
+// Image is a durable snapshot of pool contents — the state an application
+// would observe after a restart.
+type Image struct {
+	// Data is the full pool contents.
+	Data []byte
+}
+
+// Clone returns a deep copy of the image.
+func (img *Image) Clone() *Image {
+	cp := make([]byte, len(img.Data))
+	copy(cp, img.Data)
+	return &Image{Data: cp}
+}
+
+// MediumSnapshot returns the strictly durable state. Under the classic
+// ADR domain that is the medium contents only: dirty cache lines and
+// unfenced write-backs are lost, the worst-case power-cut image. Under
+// eADR the caches are inside the persistence domain, so every store is
+// already durable and the snapshot equals the coherent view.
+func (e *Engine) MediumSnapshot() *Image {
+	if e.opts.EADR {
+		return e.PrefixImage()
+	}
+	return e.mediumCopy()
+}
+
+// mediumCopy copies the raw medium contents, ignoring the persistence
+// domain.
+func (e *Engine) mediumCopy() *Image {
+	img := &Image{Data: make([]byte, len(e.medium))}
+	copy(img.Data, e.medium)
+	return img
+}
+
+// PrefixImage returns the "graceful crash" image of §4.1: every store
+// issued so far is persisted, respecting program order. It is built from
+// the medium plus all pending write-backs plus all dirty cache lines.
+// This is the deterministic post-failure state Mumak's fault injector
+// hands to the recovery procedure.
+func (e *Engine) PrefixImage() *Image {
+	img := e.mediumCopy()
+	for i := range e.queue {
+		p := &e.queue[i]
+		for b := 0; b < CacheLineSize; b++ {
+			if p.dirty&(1<<uint(b)) != 0 {
+				img.Data[p.base+uint64(b)] = p.data[b]
+			}
+		}
+	}
+	for _, ln := range e.lines {
+		if ln.dirty == 0 {
+			continue
+		}
+		for b := 0; b < CacheLineSize; b++ {
+			if ln.dirty&(1<<uint(b)) != 0 {
+				img.Data[ln.base+uint64(b)] = ln.data[b]
+			}
+		}
+	}
+	return img
+}
+
+// FencedImage returns the image in which fenced data plus an arbitrary
+// caller-selected subset of the unfenced write-backs is durable. keep[i]
+// selects the i-th queued write-back. It models the power-cut
+// non-determinism between a flush and its fence. Panics if len(keep)
+// differs from PendingCount.
+func (e *Engine) FencedImage(keep []bool) *Image {
+	if len(keep) != len(e.queue) {
+		panic("pmem: FencedImage selector length mismatch")
+	}
+	img := e.mediumCopy()
+	for i := range e.queue {
+		if !keep[i] {
+			continue
+		}
+		p := &e.queue[i]
+		for b := 0; b < CacheLineSize; b++ {
+			if p.dirty&(1<<uint(b)) != 0 {
+				img.Data[p.base+uint64(b)] = p.data[b]
+			}
+		}
+	}
+	return img
+}

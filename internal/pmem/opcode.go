@@ -1,0 +1,105 @@
+package pmem
+
+// Opcode identifies the concrete instruction observed by a Hook. The set
+// mirrors the x86 instructions discussed in §2 of the paper.
+type Opcode uint8
+
+// The instruction set captured by the instrumentation layer.
+const (
+	// OpStore is a regular (cached, write-back) store to PM.
+	OpStore Opcode = iota
+	// OpNTStore is a non-temporal store: it bypasses the cache but is
+	// buffered and requires a fence to be guaranteed durable.
+	OpNTStore
+	// OpLoad is a load from PM.
+	OpLoad
+	// OpCLFlush synchronously writes a cache line back to the medium. It
+	// is ordered with respect to other stores and cannot be reordered.
+	OpCLFlush
+	// OpCLFlushOpt asynchronously writes a cache line back and
+	// invalidates it; durable only after the next fence.
+	OpCLFlushOpt
+	// OpCLWB asynchronously writes a cache line back without
+	// invalidating it; durable only after the next fence.
+	OpCLWB
+	// OpSFence orders stores and flushes: all buffered flushes and
+	// non-temporal stores issued before it become durable.
+	OpSFence
+	// OpMFence orders loads, stores and flushes; for persistency
+	// purposes it behaves like OpSFence.
+	OpMFence
+	// OpRMW is an atomic read-modify-write (compare-and-swap,
+	// fetch-and-add, ...). RMW instructions drain the store buffer and
+	// therefore carry fence semantics.
+	OpRMW
+)
+
+var opcodeNames = [...]string{
+	OpStore:      "store",
+	OpNTStore:    "ntstore",
+	OpLoad:       "load",
+	OpCLFlush:    "clflush",
+	OpCLFlushOpt: "clflushopt",
+	OpCLWB:       "clwb",
+	OpSFence:     "sfence",
+	OpMFence:     "mfence",
+	OpRMW:        "rmw",
+}
+
+// String returns the x86-style mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) {
+		return opcodeNames[op]
+	}
+	return "op?"
+}
+
+// Kind groups opcodes by their role in the persistency model.
+type Kind uint8
+
+// Event kinds, the granularity at which analysis rules reason.
+const (
+	KindStore Kind = iota // OpStore, OpNTStore and the write half of OpRMW
+	KindLoad              // OpLoad
+	KindFlush             // OpCLFlush, OpCLFlushOpt, OpCLWB
+	KindFence             // OpSFence, OpMFence and the fence half of OpRMW
+)
+
+var kindNames = [...]string{
+	KindStore: "store",
+	KindLoad:  "load",
+	KindFlush: "flush",
+	KindFence: "fence",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Kind returns the persistency-model role of the opcode. OpRMW is
+// classified as KindFence because its defining property for
+// crash-consistency analysis is that it drains buffered flushes; callers
+// that care about its store half must check the opcode itself.
+func (op Opcode) Kind() Kind {
+	switch op {
+	case OpStore, OpNTStore:
+		return KindStore
+	case OpLoad:
+		return KindLoad
+	case OpCLFlush, OpCLFlushOpt, OpCLWB:
+		return KindFlush
+	default:
+		return KindFence
+	}
+}
+
+// IsPersistency reports whether the opcode is a persistency instruction
+// (a flush or a fence), the default failure-point granularity of §4.1.
+func (op Opcode) IsPersistency() bool {
+	k := op.Kind()
+	return k == KindFlush || k == KindFence
+}

@@ -1,0 +1,90 @@
+package pmem
+
+import "mumak/internal/stack"
+
+// CacheLineSize is the unit on which flush instructions act.
+const CacheLineSize = 64
+
+// AtomicUnit is the failure-atomicity granularity of the medium: aligned
+// groups of 8 bytes persist entirely or not at all (§2 of the paper).
+const AtomicUnit = 8
+
+// EvictionPolicy controls spontaneous write-back of dirty cache lines.
+type EvictionPolicy uint8
+
+// Eviction policies.
+const (
+	// EvictNever keeps dirty lines cached until explicitly flushed.
+	// This is the deterministic mode used during analysis.
+	EvictNever EvictionPolicy = iota
+	// EvictSeeded writes back a random dirty line with probability
+	// 1/EvictOneIn after each store, driven by the engine seed. This
+	// models the cache-replacement non-determinism that masks
+	// missing-flush bugs on real hardware.
+	EvictSeeded
+)
+
+// StackCapture selects which event classes capture call stacks.
+type StackCapture uint8
+
+// Stack-capture modes, ordered by cost.
+const (
+	// CaptureNone records no stacks (fault-injection replay runs).
+	CaptureNone StackCapture = iota
+	// CapturePersistency records stacks at flushes and fences only (the
+	// failure-point granularity of §4.1).
+	CapturePersistency
+	// CaptureStores records stacks at stores as well (the store
+	// granularity ablation, Fig 3b).
+	CaptureStores
+	// CaptureAll records stacks for every event including loads.
+	CaptureAll
+)
+
+// Options configures an Engine.
+type Options struct {
+	// PoolSize is the size of the simulated PM device in bytes. It is
+	// rounded up to a multiple of CacheLineSize. Required.
+	PoolSize int
+	// Eviction selects the spontaneous write-back policy.
+	Eviction EvictionPolicy
+	// EvictOneIn is the inverse eviction probability under EvictSeeded;
+	// 0 means the default of 64.
+	EvictOneIn int
+	// Seed drives all engine-internal pseudo-randomness.
+	Seed int64
+	// EADR extends the persistence domain to the CPU caches (enhanced
+	// asynchronous DRAM refresh, §2): stores are durable once globally
+	// visible and cache flushes become unnecessary, though fences are
+	// still required to order non-temporal stores.
+	EADR bool
+	// CrashAt, when non-zero, makes the engine panic with a
+	// *CrashSignal immediately before the instruction with this
+	// counter executes. It is the "minimal instrumentation" fault
+	// injection of §5: no event construction or hook dispatch happens
+	// on the replay's hot path.
+	CrashAt uint64
+	// Capture selects stack capture.
+	Capture StackCapture
+	// Stacks is the table stacks are interned into. A shared table lets
+	// several engine incarnations (pre- and post-failure) agree on IDs.
+	// Required when Capture != CaptureNone.
+	Stacks *stack.Table
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 1 << 20
+	}
+	if r := opts.PoolSize % CacheLineSize; r != 0 {
+		opts.PoolSize += CacheLineSize - r
+	}
+	if opts.EvictOneIn == 0 {
+		opts.EvictOneIn = 64
+	}
+	if opts.Capture != CaptureNone && opts.Stacks == nil {
+		opts.Stacks = stack.NewTable()
+	}
+	return opts
+}

@@ -1,0 +1,33 @@
+package pmem
+
+// Stats aggregates instruction and resource counters for one engine
+// lifetime. They feed the Table 2 resource accounting.
+type Stats struct {
+	// Stores counts store events (including non-temporal stores).
+	Stores uint64
+	// NTStores counts non-temporal stores only.
+	NTStores uint64
+	// Loads counts load events.
+	Loads uint64
+	// Flushes counts clflush/clflushopt/clwb events.
+	Flushes uint64
+	// Fences counts sfence/mfence/RMW events.
+	Fences uint64
+	// RMWs counts read-modify-write events only.
+	RMWs uint64
+	// Evictions counts spontaneous dirty-line write-backs.
+	Evictions uint64
+	// BytesStored totals the payload bytes of all stores.
+	BytesStored uint64
+	// PeakCacheLines is the maximum number of simultaneously cached
+	// lines.
+	PeakCacheLines int
+	// PeakQueue is the maximum depth of the write-pending queue.
+	PeakQueue int
+}
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Events returns the total number of instruction events delivered.
+func (e *Engine) Events() uint64 { return e.icount }

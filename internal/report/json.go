@@ -1,0 +1,78 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"mumak/internal/stack"
+)
+
+// jsonFinding is the machine-readable form of one unique finding.
+type jsonFinding struct {
+	Kind    string   `json:"kind"`
+	Class   string   `json:"class"`
+	Warning bool     `json:"warning"`
+	ICount  uint64   `json:"instruction"`
+	Addr    string   `json:"address,omitempty"`
+	Detail  string   `json:"detail,omitempty"`
+	BugPath []string `json:"bug_path,omitempty"`
+}
+
+// jsonReport is the machine-readable report envelope.
+type jsonReport struct {
+	Target   string        `json:"target"`
+	Tool     string        `json:"tool"`
+	Bugs     int           `json:"bugs"`
+	Warnings int           `json:"warnings"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// WriteJSON emits the unique findings as JSON, the CI-pipeline-friendly
+// counterpart of Format.
+func (r *Report) WriteJSON(w io.Writer, withWarnings bool) error {
+	out := jsonReport{Target: r.Target, Tool: r.Tool}
+	for _, f := range r.Unique() {
+		if f.Kind.IsWarning() {
+			out.Warnings++
+			if !withWarnings {
+				continue
+			}
+		} else {
+			out.Bugs++
+		}
+		jf := jsonFinding{
+			Kind:    f.Kind.String(),
+			Class:   f.Kind.Class().String(),
+			Warning: f.Kind.IsWarning(),
+			ICount:  f.ICount,
+			Detail:  f.Detail,
+		}
+		if f.Addr != 0 {
+			jf.Addr = hex(f.Addr)
+		}
+		if r.Stacks != nil && f.Stack != stack.NoID {
+			for _, fr := range r.Stacks.Frames(f.Stack) {
+				jf.BugPath = append(jf.BugPath, fr.String())
+			}
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	buf := make([]byte, 0, 18)
+	buf = append(buf, '0', 'x')
+	started := false
+	for shift := 60; shift >= 0; shift -= 4 {
+		d := (v >> uint(shift)) & 0xf
+		if d != 0 || started || shift == 0 {
+			started = true
+			buf = append(buf, digits[d])
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,244 @@
+// Package report defines bug reports and the ergonomics the paper
+// highlights in Table 3: complete bug paths, unique-bug filtering and
+// succinct rendering.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mumak/internal/stack"
+	"mumak/internal/taxonomy"
+)
+
+// Kind classifies a finding.
+type Kind uint8
+
+// Finding kinds. The first group are definite bugs; the second are the
+// warnings of §4.2, reported to guide the developer but never counted as
+// positives.
+const (
+	// CrashConsistency: an injected crash produced a state the
+	// recovery procedure rejected (fault-injection phase).
+	CrashConsistency Kind = iota
+	// Durability: a store that was never explicitly persisted although
+	// its address is flushed elsewhere in the execution.
+	Durability
+	// DirtyOverwrite: an address overwritten while a previous store to
+	// it was still unpersisted.
+	DirtyOverwrite
+	// RedundantFlush: a flush of a line with no new stores since its
+	// last write-back.
+	RedundantFlush
+	// RedundantFence: a fence with no flush or non-temporal store
+	// since the previous fence.
+	RedundantFence
+
+	// WarnTransientData: a store whose address is never flushed during
+	// the whole execution — PM possibly used for transient data.
+	WarnTransientData
+	// WarnMultiStoreFlush: a flush covering several stores — a single
+	// flush suffices on this platform, but the layout may differ
+	// elsewhere.
+	WarnMultiStoreFlush
+	// WarnFenceOrdering: a fence acting on more than one write-back,
+	// whose non-program-order persist interleavings were not explored.
+	WarnFenceOrdering
+)
+
+var kindNames = [...]string{
+	CrashConsistency:    "crash-consistency bug",
+	Durability:          "durability bug",
+	DirtyOverwrite:      "dirty overwrite",
+	RedundantFlush:      "redundant flush",
+	RedundantFence:      "redundant fence",
+	WarnTransientData:   "warning: possible transient data in PM",
+	WarnMultiStoreFlush: "warning: flush covers multiple stores",
+	WarnFenceOrdering:   "warning: unexplored persist orderings behind fence",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "finding?"
+}
+
+// IsWarning reports whether the kind is advisory only.
+func (k Kind) IsWarning() bool { return k >= WarnTransientData }
+
+// Class maps the finding kind onto the §2 taxonomy.
+func (k Kind) Class() taxonomy.Class {
+	switch k {
+	case Durability, DirtyOverwrite:
+		return taxonomy.Durability
+	case RedundantFlush, WarnMultiStoreFlush:
+		return taxonomy.RedundantFlush
+	case RedundantFence:
+		return taxonomy.RedundantFence
+	case WarnTransientData:
+		return taxonomy.TransientData
+	case WarnFenceOrdering:
+		return taxonomy.Ordering
+	default:
+		// Fault injection exposes atomicity and ordering violations
+		// without distinguishing them.
+		return taxonomy.Atomicity
+	}
+}
+
+// Finding is one detected bug or warning.
+type Finding struct {
+	// Kind classifies the finding.
+	Kind Kind
+	// ICount is the instruction at which the pattern fired or the
+	// fault was injected.
+	ICount uint64
+	// Addr is the affected address where applicable.
+	Addr uint64
+	// Stack is the code path leading to the finding (stack.NoID when
+	// unresolved).
+	Stack stack.ID
+	// Detail describes the finding (for crash-consistency bugs, the
+	// recovery outcome).
+	Detail string
+}
+
+// Report is the output of one analysis.
+type Report struct {
+	// Target and Tool identify the run.
+	Target string
+	Tool   string
+	// Findings holds every raw finding before unique-filtering.
+	Findings []Finding
+	// Stacks resolves finding stacks for rendering.
+	Stacks *stack.Table
+}
+
+// Add appends a finding.
+func (r *Report) Add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// Unique returns the findings filtered to one per unique bug: same kind
+// and same code path (or same address when no stack was captured)
+// collapse together, exactly the duplicate filtering of Table 3.
+func (r *Report) Unique() []Finding {
+	type key struct {
+		kind  Kind
+		stack stack.ID
+		addr  uint64
+	}
+	seen := map[key]bool{}
+	var out []Finding
+	for _, f := range r.Findings {
+		k := key{kind: f.Kind, stack: f.Stack}
+		if f.Stack == stack.NoID {
+			k.addr = f.Addr
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].ICount < out[j].ICount
+	})
+	return out
+}
+
+// Bugs returns the unique definite bugs (no warnings).
+func (r *Report) Bugs() []Finding {
+	var out []Finding
+	for _, f := range r.Unique() {
+		if !f.Kind.IsWarning() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Warnings returns the unique warnings.
+func (r *Report) Warnings() []Finding {
+	var out []Finding
+	for _, f := range r.Unique() {
+		if f.Kind.IsWarning() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies unique findings per kind.
+func (r *Report) CountByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, f := range r.Unique() {
+		out[f.Kind]++
+	}
+	return out
+}
+
+// Format renders the report succinctly: one block per unique finding
+// with its complete code path.
+func (r *Report) Format(withWarnings bool) string {
+	var sb strings.Builder
+	bugs := r.Bugs()
+	fmt.Fprintf(&sb, "%s analysis of %s: %d unique bug(s)", r.Tool, r.Target, len(bugs))
+	warns := r.Warnings()
+	if withWarnings {
+		fmt.Fprintf(&sb, ", %d warning(s)", len(warns))
+	}
+	sb.WriteByte('\n')
+	render := func(i int, f Finding) {
+		fmt.Fprintf(&sb, "\n[%d] %s", i+1, f.Kind)
+		if f.Addr != 0 {
+			fmt.Fprintf(&sb, " at address 0x%x", f.Addr)
+		}
+		fmt.Fprintf(&sb, " (instruction %d)\n", f.ICount)
+		if f.Detail != "" {
+			fmt.Fprintf(&sb, "    %s\n", f.Detail)
+		}
+		fmt.Fprintf(&sb, "    suggested fix: %s\n", f.Suggest())
+		if r.Stacks != nil && f.Stack != stack.NoID {
+			fmt.Fprintf(&sb, "%s\n", r.Stacks.Format(f.Stack))
+		}
+	}
+	for i, f := range bugs {
+		render(i, f)
+	}
+	if withWarnings {
+		for i, f := range warns {
+			render(len(bugs)+i, f)
+		}
+	}
+	return sb.String()
+}
+
+// Suggest proposes a fix for the finding, in the spirit of Hippocrates
+// (Neal et al., ASPLOS'21), which turns PM bug-finder output into safe
+// fixes: the prescription follows mechanically from the §4.2 pattern
+// that fired.
+func (f Finding) Suggest() string {
+	switch f.Kind {
+	case Durability:
+		return "persist the store: flush its cache line(s) and fence before the data is relied upon"
+	case DirtyOverwrite:
+		return "move the repeatedly rewritten data to volatile memory, or persist between the writes"
+	case RedundantFlush:
+		return "remove the flush: the line holds no unpersisted data at this point"
+	case RedundantFence:
+		return "remove the fence: nothing is pending since the previous one"
+	case WarnTransientData:
+		return "if the region is meant to be durable, add flush+fence; otherwise move it to volatile memory"
+	case WarnMultiStoreFlush:
+		return "keep the single flush but assert the stores share a cache line across target platforms"
+	case WarnFenceOrdering:
+		return "if recovery depends on the order of these write-backs, fence between them"
+	default:
+		return "make the updates between the failure point and the recovery invariant failure-atomic (undo/redo logging or an atomic publication pointer)"
+	}
+}

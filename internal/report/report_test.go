@@ -1,0 +1,113 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mumak/internal/stack"
+	"mumak/internal/taxonomy"
+)
+
+func TestKindClassification(t *testing.T) {
+	cases := map[Kind]struct {
+		warning bool
+		class   taxonomy.Class
+	}{
+		CrashConsistency:    {false, taxonomy.Atomicity},
+		Durability:          {false, taxonomy.Durability},
+		DirtyOverwrite:      {false, taxonomy.Durability},
+		RedundantFlush:      {false, taxonomy.RedundantFlush},
+		RedundantFence:      {false, taxonomy.RedundantFence},
+		WarnTransientData:   {true, taxonomy.TransientData},
+		WarnMultiStoreFlush: {true, taxonomy.RedundantFlush},
+		WarnFenceOrdering:   {true, taxonomy.Ordering},
+	}
+	for k, want := range cases {
+		if k.IsWarning() != want.warning {
+			t.Errorf("%v IsWarning = %v", k, k.IsWarning())
+		}
+		if k.Class() != want.class {
+			t.Errorf("%v Class = %v, want %v", k, k.Class(), want.class)
+		}
+	}
+}
+
+func TestUniqueCollapsesSameStack(t *testing.T) {
+	st := stack.NewTable()
+	id := st.Intern([]uintptr{1, 2, 3})
+	r := &Report{Stacks: st}
+	for i := 0; i < 5; i++ {
+		r.Add(Finding{Kind: CrashConsistency, ICount: uint64(i), Stack: id})
+	}
+	r.Add(Finding{Kind: CrashConsistency, ICount: 99, Stack: st.Intern([]uintptr{9})})
+	if got := len(r.Unique()); got != 2 {
+		t.Fatalf("unique = %d, want 2", got)
+	}
+}
+
+func TestUniqueFallsBackToAddress(t *testing.T) {
+	r := &Report{}
+	r.Add(Finding{Kind: RedundantFlush, Addr: 64, Stack: stack.NoID})
+	r.Add(Finding{Kind: RedundantFlush, Addr: 64, Stack: stack.NoID})
+	r.Add(Finding{Kind: RedundantFlush, Addr: 128, Stack: stack.NoID})
+	if got := len(r.Unique()); got != 2 {
+		t.Fatalf("unique = %d, want 2", got)
+	}
+}
+
+func TestBugsExcludeWarnings(t *testing.T) {
+	r := &Report{}
+	r.Add(Finding{Kind: CrashConsistency, Addr: 1})
+	r.Add(Finding{Kind: WarnTransientData, Addr: 2})
+	if len(r.Bugs()) != 1 || len(r.Warnings()) != 1 {
+		t.Fatalf("bugs=%d warnings=%d", len(r.Bugs()), len(r.Warnings()))
+	}
+}
+
+func TestFormatMentionsCounts(t *testing.T) {
+	r := &Report{Target: "t", Tool: "Mumak"}
+	r.Add(Finding{Kind: RedundantFence, ICount: 3, Detail: "why"})
+	out := r.Format(true)
+	if !strings.Contains(out, "1 unique bug(s)") || !strings.Contains(out, "redundant fence") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestPropertyUniqueIdempotent(t *testing.T) {
+	f := func(kinds []uint8, addrs []uint16) bool {
+		r := &Report{}
+		for i := range kinds {
+			addr := uint64(0)
+			if i < len(addrs) {
+				addr = uint64(addrs[i])
+			}
+			r.Add(Finding{Kind: Kind(kinds[i] % 8), Addr: addr, Stack: stack.NoID})
+		}
+		u1 := r.Unique()
+		r2 := &Report{Findings: u1}
+		u2 := r2.Unique()
+		return len(u1) == len(u2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	st := stack.NewTable()
+	r := &Report{Target: "t", Tool: "Mumak", Stacks: st}
+	r.Add(Finding{Kind: CrashConsistency, ICount: 7, Addr: 0x40, Detail: "boom",
+		Stack: st.Intern([]uintptr{1})})
+	r.Add(Finding{Kind: WarnTransientData, ICount: 9})
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"bugs": 1`, `"warnings": 1`, `"0x40"`, `"crash-consistency bug"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON lacks %s:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package stack_test
+
+import . "mumak/internal/stack"
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+//go:noinline
+func captureLeaf(t *Table) ID { return t.Capture(0) }
+
+//go:noinline
+func captureViaHelper(t *Table) ID { return captureLeaf(t) }
+
+func TestCaptureInternsIdenticalStacks(t *testing.T) {
+	tbl := NewTable()
+	var ids []ID
+	for i := 0; i < 3; i++ {
+		// Same call site each iteration: one unique code path.
+		ids = append(ids, captureViaHelper(tbl))
+	}
+	for _, id := range ids {
+		if id == NoID {
+			t.Fatal("capture returned NoID")
+		}
+		if id != ids[0] {
+			t.Fatalf("identical call paths interned differently: %v", ids)
+		}
+	}
+}
+
+func TestCaptureDistinguishesCallPaths(t *testing.T) {
+	tbl := NewTable()
+	a := captureLeaf(tbl)
+	b := captureViaHelper(tbl)
+	if a == b {
+		t.Fatal("different call paths interned identically")
+	}
+}
+
+func TestFramesSymbolise(t *testing.T) {
+	tbl := NewTable()
+	id := captureViaHelper(tbl)
+	frames := tbl.Frames(id)
+	if len(frames) < 2 {
+		t.Fatalf("got %d frames, want >= 2", len(frames))
+	}
+	if !strings.Contains(frames[0].Function, "captureLeaf") {
+		t.Errorf("innermost frame = %q, want captureLeaf", frames[0].Function)
+	}
+	if !strings.Contains(frames[1].Function, "captureViaHelper") {
+		t.Errorf("second frame = %q, want captureViaHelper", frames[1].Function)
+	}
+}
+
+func TestTrimDropsBoundaryFrames(t *testing.T) {
+	tbl := NewTable()
+	id := captureViaHelper(tbl)
+	for _, f := range tbl.Frames(id) {
+		if strings.HasPrefix(f.Function, "testing.") || strings.HasPrefix(f.Function, "runtime.") {
+			t.Errorf("harness frame leaked into stack: %s", f.Function)
+		}
+	}
+}
+
+func TestFormatContainsFileAndLine(t *testing.T) {
+	tbl := NewTable()
+	id := captureLeaf(tbl)
+	s := tbl.Format(id)
+	if !strings.Contains(s, "stack_test.go:") {
+		t.Errorf("formatted stack lacks source location:\n%s", s)
+	}
+}
+
+func TestNoIDHandling(t *testing.T) {
+	tbl := NewTable()
+	if pcs := tbl.PCs(NoID); pcs != nil {
+		t.Error("PCs(NoID) != nil")
+	}
+	if frames := tbl.Frames(NoID); frames != nil {
+		t.Error("Frames(NoID) != nil")
+	}
+	if s := tbl.Format(NoID); !strings.Contains(s, "no stack") {
+		t.Errorf("Format(NoID) = %q", s)
+	}
+}
+
+func TestPropertyInternRoundTrip(t *testing.T) {
+	tbl := NewTable()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pcs := make([]uintptr, len(raw))
+		for i, r := range raw {
+			pcs[i] = uintptr(r) + 1
+		}
+		id := tbl.Intern(pcs)
+		got := tbl.PCs(id)
+		if len(got) != len(pcs) {
+			return false
+		}
+		for i := range pcs {
+			if got[i] != pcs[i] {
+				return false
+			}
+		}
+		// Interning again yields the same ID.
+		return tbl.Intern(pcs) == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistinctSlicesDistinctIDs(t *testing.T) {
+	tbl := NewTable()
+	f := func(a, b []uint16) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		pa := make([]uintptr, len(a))
+		for i, r := range a {
+			pa[i] = uintptr(r) + 1
+		}
+		pb := make([]uintptr, len(b))
+		for i, r := range b {
+			pb[i] = uintptr(r) + 1
+		}
+		same := slicesEqual(pa, pb)
+		return (tbl.Intern(pa) == tbl.Intern(pb)) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tbl := NewTable()
+	done := make(chan ID, 8)
+	for g := 0; g < 8; g++ {
+		go func() { done <- tbl.Intern([]uintptr{1, 2, 3}) }()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if id := <-done; id != first {
+			t.Fatalf("concurrent interning of same stack diverged: %d vs %d", id, first)
+		}
+	}
+}
+
+func slicesEqual(a, b []uintptr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

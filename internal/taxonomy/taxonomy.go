@@ -1,0 +1,215 @@
+// Package taxonomy defines the PM bug taxonomy of §2 of the paper and
+// the Table 1 classification of state-of-the-art tools against it.
+package taxonomy
+
+// Class is a bug class from the §2 taxonomy.
+type Class uint8
+
+// Bug classes. The first three are correctness (crash-consistency)
+// classes; the last three are performance classes.
+const (
+	// Durability: a store lacking the flush/fence sequence needed to
+	// guarantee it persists, or relying on cache eviction. Includes
+	// dirty overwrites (overwriting a never-persisted store).
+	Durability Class = iota
+	// Atomicity: a set of stores that must persist atomically from a
+	// logical standpoint but can persist partially.
+	Atomicity
+	// Ordering: persisted writes whose order can prevent the
+	// application from recovering after a crash.
+	Ordering
+	// RedundantFlush: a flush of data that was not overwritten since
+	// the last flush, acts on a volatile address, or duplicates a
+	// same-line flush.
+	RedundantFlush
+	// RedundantFence: a fence with no pending flush or non-temporal
+	// store since the previous fence.
+	RedundantFence
+	// TransientData: PM used for data that is never persisted and
+	// could live in volatile memory.
+	TransientData
+)
+
+var classNames = [...]string{
+	Durability:     "durability",
+	Atomicity:      "atomicity",
+	Ordering:       "ordering",
+	RedundantFlush: "redundant-flush",
+	RedundantFence: "redundant-fence",
+	TransientData:  "transient-data",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// Correctness reports whether the class is a crash-consistency class (as
+// opposed to a performance class).
+func (c Class) Correctness() bool { return c <= Ordering }
+
+// Classes lists every class in taxonomy order.
+func Classes() []Class {
+	return []Class{Durability, Atomicity, Ordering, RedundantFlush, RedundantFence, TransientData}
+}
+
+// Support describes how a tool covers a bug class (Table 1).
+type Support uint8
+
+// Support levels.
+const (
+	// No: the class is not detected.
+	No Support = iota
+	// Yes: detected automatically.
+	Yes
+	// WithAnnotations: detected only with manual annotations (the ✓*
+	// of Table 1).
+	WithAnnotations
+	// Undistinguished: detected but conflated with durability bugs
+	// (the ✓† of Table 1, for transient data).
+	Undistinguished
+	// PMDKTransactions: detected only for PMDK transaction usage
+	// (Agamotto's atomicity support).
+	PMDKTransactions
+)
+
+var supportNames = [...]string{
+	No:               "",
+	Yes:              "yes",
+	WithAnnotations:  "yes*",
+	Undistinguished:  "yes†",
+	PMDKTransactions: "PMDK TXs",
+}
+
+// String renders the Table 1 cell.
+func (s Support) String() string {
+	if int(s) < len(supportNames) {
+		return supportNames[s]
+	}
+	return "?"
+}
+
+// ToolProfile is one row of Table 1.
+type ToolProfile struct {
+	// Name is the tool name.
+	Name string
+	// Detects maps each taxonomy class to the tool's support level.
+	Detects map[Class]Support
+	// AppAgnostic and LibAgnostic are the last two Table 1 columns.
+	AppAgnostic bool
+	LibAgnostic bool
+}
+
+// Table1 reproduces the tool classification of Table 1 of the paper.
+var Table1 = []ToolProfile{
+	{
+		Name: "pmemcheck",
+		Detects: map[Class]Support{
+			Durability:     WithAnnotations,
+			RedundantFlush: Yes,
+			TransientData:  Undistinguished,
+		},
+	},
+	{
+		Name: "PMTest",
+		Detects: map[Class]Support{
+			Durability: WithAnnotations,
+			Atomicity:  WithAnnotations,
+			Ordering:   WithAnnotations,
+		},
+		LibAgnostic: true,
+	},
+	{
+		Name: "XFDetector",
+		Detects: map[Class]Support{
+			Durability: WithAnnotations,
+			Atomicity:  WithAnnotations,
+			Ordering:   WithAnnotations,
+		},
+		AppAgnostic: true,
+		LibAgnostic: true,
+	},
+	{
+		Name: "PMDebugger",
+		Detects: map[Class]Support{
+			Durability:     Yes,
+			Atomicity:      WithAnnotations,
+			Ordering:       WithAnnotations,
+			RedundantFlush: Yes,
+			TransientData:  Undistinguished,
+		},
+	},
+	{
+		Name: "Yat",
+		Detects: map[Class]Support{
+			Durability: Yes,
+			Atomicity:  Yes,
+			Ordering:   Yes,
+		},
+	},
+	{
+		Name: "Jaaru",
+		Detects: map[Class]Support{
+			Durability: Yes,
+			Atomicity:  Yes,
+			Ordering:   Yes,
+		},
+		AppAgnostic: true,
+	},
+	{
+		Name: "Agamotto",
+		Detects: map[Class]Support{
+			Durability:     Yes,
+			Atomicity:      PMDKTransactions,
+			RedundantFlush: Yes,
+			RedundantFence: Yes,
+			TransientData:  Undistinguished,
+		},
+		AppAgnostic: true,
+	},
+	{
+		Name: "Witcher",
+		Detects: map[Class]Support{
+			Durability:     Yes,
+			Atomicity:      Yes,
+			Ordering:       Yes,
+			RedundantFlush: Yes,
+			RedundantFence: Yes,
+		},
+	},
+	{
+		Name: "Mumak",
+		Detects: map[Class]Support{
+			Durability:     Yes,
+			Atomicity:      Yes,
+			Ordering:       Yes,
+			RedundantFlush: Yes,
+			RedundantFence: Yes,
+			TransientData:  Yes,
+		},
+		AppAgnostic: true,
+		LibAgnostic: true,
+	},
+}
+
+// ErgonomicsRow is one row of Table 3 (qualitative ergonomics).
+type ErgonomicsRow struct {
+	Name            string
+	CompleteBugPath bool
+	FiltersUnique   bool
+	GenericWorkload bool
+	ChangesTarget   bool
+	ChangesBuild    bool
+}
+
+// Table3 reproduces the ergonomics comparison of Table 3.
+var Table3 = []ErgonomicsRow{
+	{Name: "XFDetector", CompleteBugPath: false, FiltersUnique: false, GenericWorkload: true, ChangesTarget: true, ChangesBuild: true},
+	{Name: "PMDebugger", CompleteBugPath: true, FiltersUnique: false, GenericWorkload: true, ChangesTarget: true, ChangesBuild: false},
+	{Name: "Agamotto", CompleteBugPath: true, FiltersUnique: true, GenericWorkload: false, ChangesTarget: false, ChangesBuild: true},
+	{Name: "Witcher", CompleteBugPath: false, FiltersUnique: false, GenericWorkload: false, ChangesTarget: true, ChangesBuild: true},
+	{Name: "Mumak", CompleteBugPath: true, FiltersUnique: true, GenericWorkload: true, ChangesTarget: false, ChangesBuild: false},
+}

@@ -1,0 +1,99 @@
+package taxonomy
+
+import "testing"
+
+func TestClassCorrectnessSplit(t *testing.T) {
+	for _, c := range []Class{Durability, Atomicity, Ordering} {
+		if !c.Correctness() {
+			t.Errorf("%v should be a correctness class", c)
+		}
+	}
+	for _, c := range []Class{RedundantFlush, RedundantFence, TransientData} {
+		if c.Correctness() {
+			t.Errorf("%v should be a performance class", c)
+		}
+	}
+}
+
+func TestTable1MumakRow(t *testing.T) {
+	// Mumak's Table 1 row: every class detected automatically, both
+	// agnosticism columns checked — the paper's headline comparison.
+	var mumak *ToolProfile
+	for i := range Table1 {
+		if Table1[i].Name == "Mumak" {
+			mumak = &Table1[i]
+		}
+	}
+	if mumak == nil {
+		t.Fatal("Mumak missing from Table 1")
+	}
+	for _, c := range Classes() {
+		if mumak.Detects[c] != Yes {
+			t.Errorf("Mumak support for %v = %v, want yes", c, mumak.Detects[c])
+		}
+	}
+	if !mumak.AppAgnostic || !mumak.LibAgnostic {
+		t.Error("Mumak must be application- and library-agnostic")
+	}
+}
+
+func TestTable1NoOtherToolCoversEverything(t *testing.T) {
+	for _, tool := range Table1 {
+		if tool.Name == "Mumak" {
+			continue
+		}
+		full := tool.AppAgnostic && tool.LibAgnostic
+		for _, c := range Classes() {
+			if tool.Detects[c] != Yes {
+				full = false
+			}
+		}
+		if full {
+			t.Errorf("%s matches Mumak's full Table 1 row; the paper's comparison says none does", tool.Name)
+		}
+	}
+}
+
+func TestTable1AnnotationTools(t *testing.T) {
+	// The ✓* entries: annotation-based tools require manual effort for
+	// at least one class.
+	for _, name := range []string{"pmemcheck", "PMTest", "XFDetector", "PMDebugger"} {
+		found := false
+		for _, tool := range Table1 {
+			if tool.Name != name {
+				continue
+			}
+			for _, s := range tool.Detects {
+				if s == WithAnnotations {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s should have at least one annotation-dependent class", name)
+		}
+	}
+}
+
+func TestTable3MumakErgonomics(t *testing.T) {
+	for _, row := range Table3 {
+		if row.Name != "Mumak" {
+			continue
+		}
+		if !row.CompleteBugPath || !row.FiltersUnique || !row.GenericWorkload ||
+			row.ChangesTarget || row.ChangesBuild {
+			t.Errorf("Mumak Table 3 row wrong: %+v", row)
+		}
+		return
+	}
+	t.Fatal("Mumak missing from Table 3")
+}
+
+func TestSupportStrings(t *testing.T) {
+	if Yes.String() != "yes" || WithAnnotations.String() != "yes*" {
+		t.Error("support rendering changed")
+	}
+	if No.String() != "" {
+		t.Error("No should render empty (a blank Table 1 cell)")
+	}
+}

@@ -1,0 +1,88 @@
+package tools_test
+
+import (
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/hashatomic"
+	"mumak/internal/bugs"
+	"mumak/internal/core"
+	"mumak/internal/report"
+	"mumak/internal/stack"
+	"mumak/internal/tools"
+	"mumak/internal/tools/pmdebugger"
+	"mumak/internal/tools/xfdetector"
+	"mumak/internal/workload"
+)
+
+// The Table 3 ergonomics rows, demonstrated by behaviour rather than
+// asserted as data: Mumak reports unique bugs with complete paths, the
+// baselines report duplicates and/or lack paths.
+
+func TestErgonomicsMumakDeduplicatesXFDetectorDoesNot(t *testing.T) {
+	cfg := apps.Config{PoolSize: 1 << 20, Bugs: bugs.Enable(hashatomic.BugPublishBeforeInit)}
+	w := workload.Generate(workload.Config{N: 60, Seed: 21, Keyspace: 16, PutFrac: 1})
+
+	mres, err := core.Analyze(hashatomic.New(cfg), w, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xres, err := xfdetector.New().Analyze(hashatomic.New(cfg), w, tools.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mumakUnique := len(mres.Report.Bugs())
+	xfRaw := len(xres.Report.Findings)
+	if mumakUnique == 0 {
+		t.Fatal("Mumak missed the bug entirely")
+	}
+	// The same defect fires on many puts; XFDetector reports each
+	// occurrence, Mumak collapses them to unique code paths.
+	if xfRaw <= mumakUnique {
+		t.Fatalf("expected duplicate-rich XFDetector output: %d raw vs Mumak's %d unique",
+			xfRaw, mumakUnique)
+	}
+}
+
+func TestErgonomicsMumakReportsCompletePaths(t *testing.T) {
+	cfg := apps.Config{PoolSize: 1 << 20, Bugs: bugs.Enable(hashatomic.BugPublishBeforeInit)}
+	w := workload.Generate(workload.Config{N: 60, Seed: 22, Keyspace: 16, PutFrac: 1})
+	res, err := core.Analyze(hashatomic.New(cfg), w, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Report.Bugs() {
+		if f.Kind != report.CrashConsistency {
+			continue
+		}
+		if f.Stack == stack.NoID || len(res.Report.Stacks.Frames(f.Stack)) < 2 {
+			t.Fatalf("Mumak finding lacks a complete bug path: %+v", f)
+		}
+	}
+}
+
+func TestErgonomicsPMDebuggerReportsAllOccurrences(t *testing.T) {
+	// PMDebugger reports every occurrence of every bug (Table 3): the
+	// transient counter is stored once per put, and each store becomes
+	// its own durability finding.
+	cfg := apps.Config{SPT: true, PoolSize: 1 << 20, Bugs: bugs.Enable("btree/pf-03")}
+	w := workload.Generate(workload.Config{N: 80, Seed: 23, Keyspace: 20, PutFrac: 1})
+	app, err := apps.New("btree", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pmdebugger.New().Analyze(app, w, tools.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, f := range res.Report.Findings {
+		if f.Kind == report.Durability {
+			n++
+		}
+	}
+	if n < 10 {
+		t.Fatalf("PMDebugger reported %d occurrences; expected one per operation", n)
+	}
+}

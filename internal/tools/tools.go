@@ -1,0 +1,57 @@
+// Package tools defines the common contract of the baseline PM bug
+// detectors Mumak is evaluated against (§3, §6.1): XFDetector,
+// PMDebugger, Agamotto, Witcher and Yat, each reimplemented in its own
+// subpackage with the algorithmic character — and therefore the cost
+// profile — described in the respective papers.
+package tools
+
+import (
+	"time"
+
+	"mumak/internal/harness"
+	"mumak/internal/metrics"
+	"mumak/internal/report"
+	"mumak/internal/workload"
+)
+
+// Config bounds a tool run, mirroring the evaluation's 12-hour wall
+// limit and the machine's physical memory.
+type Config struct {
+	// Budget is the wall-clock limit; zero means unbounded.
+	Budget time.Duration
+	// MemBudget is the volatile-memory limit in bytes; a tool that
+	// would exceed it aborts with OOM = true, as Witcher did against
+	// the machine's 256 GB. Zero means unbounded.
+	MemBudget uint64
+	// Parallelism is the worker count for tools that parallelise
+	// (Witcher); zero selects the tool default.
+	Parallelism int
+}
+
+// Result is a tool run's outcome.
+type Result struct {
+	// Report holds the findings.
+	Report *report.Report
+	// Elapsed is the analysis wall time.
+	Elapsed time.Duration
+	// TimedOut and OOM mark budget exhaustion (the ∞ bars of Fig 4).
+	TimedOut bool
+	OOM      bool
+	// Explored counts tool-specific work units (failure points,
+	// symbolic states, crash images).
+	Explored int
+	// EngineEvents counts simulated PM instructions.
+	EngineEvents uint64
+	// Usage is the Table 2 resource row.
+	Usage metrics.Usage
+}
+
+// Tool is a PM bug detector operating on the same black-box inputs as
+// Mumak (tools that additionally require annotations or drivers consume
+// them through the library annotation channel and harness.KVApplication).
+type Tool interface {
+	// Name identifies the tool in reports and figures.
+	Name() string
+	// Analyze runs the tool against the target.
+	Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result, error)
+}

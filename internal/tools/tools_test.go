@@ -1,0 +1,177 @@
+package tools_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/btree"
+	"mumak/internal/apps/hashatomic"
+	"mumak/internal/apps/montageht"
+	"mumak/internal/bugs"
+	"mumak/internal/report"
+	"mumak/internal/tools"
+	"mumak/internal/tools/agamotto"
+	"mumak/internal/tools/pmdebugger"
+	"mumak/internal/tools/witcher"
+	"mumak/internal/tools/xfdetector"
+	"mumak/internal/tools/yat"
+	"mumak/internal/workload"
+)
+
+func tinyWorkload(seed int64) workload.Workload {
+	return workload.Generate(workload.Config{N: 40, Seed: seed, Keyspace: 12})
+}
+
+func cfgSPT(ids ...bugs.ID) apps.Config {
+	return apps.Config{SPT: true, PoolSize: 1 << 20, Bugs: bugs.Enable(ids...)}
+}
+
+func hasKind(r *report.Report, k report.Kind) bool {
+	for _, f := range r.Findings {
+		if f.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestXFDetectorFindsCrossFailureBug(t *testing.T) {
+	cfg := apps.Config{PoolSize: 1 << 20, Bugs: bugs.Enable(hashatomic.BugPublishBeforeInit)}
+	res, err := xfdetector.New().Analyze(hashatomic.New(cfg), tinyWorkload(1), tools.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(res.Report, report.CrashConsistency) {
+		t.Fatal("XFDetector missed the publish-before-init bug")
+	}
+	if res.Explored == 0 {
+		t.Fatal("no failure points explored")
+	}
+}
+
+func TestXFDetectorRespectsBudget(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 3000, Seed: 2, Keyspace: 500})
+	cfg := apps.Config{PoolSize: 8 << 20}
+	res, err := xfdetector.New().Analyze(hashatomic.New(cfg), w, tools.Config{Budget: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("budget did not expire on a large workload")
+	}
+}
+
+func TestPMDebuggerFindsUnloggedStore(t *testing.T) {
+	cfg := cfgSPT(btree.BugSplitMissingAddRange)
+	w := workload.Generate(workload.Config{N: 120, Seed: 3, Keyspace: 40, PutFrac: 1})
+	res, err := pmdebugger.New().Analyze(btree.New(cfg), w, tools.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(res.Report, report.CrashConsistency) {
+		t.Fatal("PMDebugger missed the missing-addrange bug")
+	}
+}
+
+func TestPMDebuggerCleanTargetNoCorrectnessBugs(t *testing.T) {
+	res, err := pmdebugger.New().Analyze(btree.New(cfgSPT()), tinyWorkload(4), tools.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasKind(res.Report, report.CrashConsistency) {
+		t.Fatalf("false positive on clean target:\n%s", res.Report.Format(true))
+	}
+}
+
+func TestPMDebuggerRejectsMontage(t *testing.T) {
+	app := montageht.New(apps.Config{PoolSize: 1 << 20})
+	_, err := pmdebugger.New().Analyze(app, tinyWorkload(5), tools.Config{})
+	if !errors.Is(err, pmdebugger.ErrNoAnnotations) {
+		t.Fatalf("err = %v, want ErrNoAnnotations (PMDK dependence)", err)
+	}
+}
+
+func TestAgamottoFindsPerfBugsWithoutWorkload(t *testing.T) {
+	cfg := cfgSPT("btree/pf-01")
+	res, err := agamotto.New().Analyze(btree.New(cfg), workload.Workload{}, tools.Config{Budget: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(res.Report, report.RedundantFlush) {
+		t.Fatal("Agamotto's universal oracle missed the redundant flush")
+	}
+}
+
+func TestAgamottoFindsUnloggedTxStore(t *testing.T) {
+	cfg := cfgSPT(btree.BugCountOutsideTx)
+	res, err := agamotto.New().Analyze(btree.New(cfg), workload.Workload{}, tools.Config{Budget: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(res.Report, report.CrashConsistency) {
+		t.Fatal("Agamotto's PMDK transaction oracle missed the non-transactional count update")
+	}
+}
+
+func TestWitcherFindsPrefixHiddenBug(t *testing.T) {
+	// The fused-fence bug is invisible to Mumak's program-order
+	// prefixes; Witcher's invariant-violating images expose it.
+	cfg := apps.Config{PoolSize: 1 << 20, Bugs: bugs.Enable(hashatomic.BugInsertSingleFence)}
+	res, err := witcher.New().Analyze(hashatomic.New(cfg), tinyWorkload(6), tools.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(res.Report, report.CrashConsistency) {
+		t.Fatal("Witcher missed the fused-fence ordering bug")
+	}
+}
+
+func TestWitcherCleanTargetNoBugs(t *testing.T) {
+	res, err := witcher.New().Analyze(hashatomic.New(apps.Config{PoolSize: 1 << 20}), tinyWorkload(7), tools.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasKind(res.Report, report.CrashConsistency) {
+		t.Fatalf("false positive on clean target:\n%s", res.Report.Format(true))
+	}
+}
+
+func TestWitcherOOMsUnderMemoryBudget(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 600, Seed: 8, Keyspace: 150})
+	cfg := apps.Config{PoolSize: 4 << 20}
+	res, err := witcher.New().Analyze(hashatomic.New(cfg), w, tools.Config{MemBudget: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Fatal("Witcher did not exhaust the memory budget (Table 2 behaviour)")
+	}
+}
+
+func TestYatFindsFusedFenceBugExhaustively(t *testing.T) {
+	cfg := apps.Config{PoolSize: 1 << 20, Bugs: bugs.Enable(hashatomic.BugInsertSingleFence)}
+	w := workload.Generate(workload.Config{N: 8, Seed: 9, Keyspace: 4, PutFrac: 1})
+	res, err := yat.New().Analyze(hashatomic.New(cfg), w, tools.Config{Budget: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(res.Report, report.CrashConsistency) {
+		t.Fatal("Yat's exhaustive enumeration missed the fused-fence bug")
+	}
+	if res.Explored < 100 {
+		t.Fatalf("Yat explored only %d states; expected an exhaustive enumeration", res.Explored)
+	}
+}
+
+func TestYatCleanTinyTargetNoBugs(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 8, Seed: 10, Keyspace: 4, PutFrac: 1})
+	res, err := yat.New().Analyze(hashatomic.New(apps.Config{PoolSize: 1 << 20}), w, tools.Config{Budget: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasKind(res.Report, report.CrashConsistency) {
+		t.Fatalf("false positive on clean target:\n%s", res.Report.Format(true))
+	}
+}

@@ -1,0 +1,107 @@
+// Package yat reimplements Yat (Lantz et al., ATC'14): record all PM
+// operations, then replay them in every permissible persist ordering,
+// checking each resulting state with the application's recovery
+// procedure. At every fence, each racing write-back (and each store
+// evictable from the cache) may or may not have reached the medium, so
+// the tool enumerates all 2^k subsets per epoch — the exhaustive search
+// whose projected runtime on real programs is measured in years, which
+// is why Analyze is only practical for small workloads and is used by
+// the ablation benches (§3, §4.1).
+package yat
+
+import (
+	"fmt"
+	"time"
+
+	"mumak/internal/harness"
+	"mumak/internal/metrics"
+	"mumak/internal/oracle"
+	"mumak/internal/pmem"
+	"mumak/internal/report"
+	"mumak/internal/stack"
+	"mumak/internal/tools"
+	"mumak/internal/trace"
+	"mumak/internal/workload"
+)
+
+// Tool is the Yat reimplementation.
+type Tool struct {
+	// MaxUnits caps the racing write-backs enumerated per crash point;
+	// epochs with more are truncated to the first MaxUnits (default
+	// 10, i.e. at most 1024 images per crash point).
+	MaxUnits int
+}
+
+// New constructs the tool.
+func New() *Tool { return &Tool{MaxUnits: 10} }
+
+// Name implements tools.Tool.
+func (t *Tool) Name() string { return "Yat" }
+
+// Analyze implements tools.Tool.
+func (t *Tool) Analyze(app harness.Application, w workload.Workload, cfg tools.Config) (*tools.Result, error) {
+	run := metrics.Start()
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.Budget > 0 {
+		deadline = start.Add(cfg.Budget)
+	}
+	stacks := stack.NewTable()
+	res := &tools.Result{Report: &report.Report{Target: app.Name(), Tool: t.Name(), Stacks: stacks}}
+
+	rec := trace.NewRecorder()
+	eng, sig, err := harness.Execute(app, w, pmem.Options{}, rec)
+	if err != nil || sig != nil {
+		return nil, err
+	}
+	res.EngineEvents += eng.Events()
+	base := pmem.NewEngine(pmem.Options{PoolSize: app.PoolSize()}).MediumSnapshot()
+
+	maxUnits := t.MaxUnits
+	if maxUnits <= 0 {
+		maxUnits = 10
+	}
+	tr := &rec.T
+	cursor := trace.NewCursor(tr, base)
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Op.Kind() == pmem.KindFence {
+			// Crash point just before the fence: enumerate every
+			// subset of the racing write-backs and evictable stores.
+			uncertain := cursor.Uncertain()
+			n := len(uncertain)
+			if n > maxUnits {
+				n = maxUnits
+			}
+			for mask := uint64(0); mask < 1<<uint(n); mask++ {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					res.TimedOut = true
+					break
+				}
+				img := cursor.Materialize(uncertain, func(j int) bool {
+					return j < n && mask&(1<<uint(j)) != 0
+				})
+				res.Explored++
+				if out := oracle.Check(app, img); !out.Consistent() {
+					res.Report.Add(report.Finding{
+						Kind:   report.CrashConsistency,
+						ICount: r.ICount,
+						Detail: fmt.Sprintf("persist ordering %b of %d racing write-backs is unrecoverable: %s",
+							mask, len(uncertain), out.Describe()),
+					})
+				}
+			}
+		}
+		if res.TimedOut {
+			break
+		}
+		cursor.Step()
+	}
+	run.AddBusy(time.Since(start))
+	res.Elapsed = time.Since(start)
+	run.Stop()
+	res.Usage = run.Usage()
+	return res, nil
+}
+
+var _ tools.Tool = (*Tool)(nil)

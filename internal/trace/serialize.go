@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mumak/internal/pmem"
+	"mumak/internal/stack"
+)
+
+// wireTrace is the serialised trace format. Stack IDs are process-local
+// and therefore dropped; the §5 debug-information pass re-resolves them
+// by instruction counter when needed.
+type wireTrace struct {
+	Records []wireRecord
+	Anns    []pmem.Annotation
+	Payload []byte
+}
+
+type wireRecord struct {
+	ICount uint64
+	Op     uint8
+	Addr   uint64
+	Size   int32
+	Data   int64
+}
+
+// Encode serialises the trace (by-product 6 of Fig 1, stored so the
+// analysis phase can run decoupled from the instrumented execution).
+func (t *Trace) Encode(w io.Writer) error {
+	wt := wireTrace{
+		Records: make([]wireRecord, len(t.Records)),
+		Anns:    t.Anns,
+		Payload: t.payload,
+	}
+	for i, r := range t.Records {
+		wt.Records[i] = wireRecord{ICount: r.ICount, Op: uint8(r.Op), Addr: r.Addr, Size: r.Size, Data: r.Data}
+	}
+	return gob.NewEncoder(w).Encode(&wt)
+}
+
+// ReadTrace deserialises a trace written by Encode.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var wt wireTrace
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	t := &Trace{Anns: wt.Anns, payload: wt.Payload}
+	t.Records = make([]Record, len(wt.Records))
+	for i, wr := range wt.Records {
+		if wr.Data >= 0 && wr.Data+int64(wr.Size) > int64(len(wt.Payload)) {
+			return nil, fmt.Errorf("trace: record %d payload out of range", i)
+		}
+		t.Records[i] = Record{ICount: wr.ICount, Op: pmem.Opcode(wr.Op), Addr: wr.Addr,
+			Size: wr.Size, Data: wr.Data, Stack: stack.NoID}
+	}
+	return t, nil
+}

@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mumak/internal/pmem"
+)
+
+func recordedRun(f func(e *pmem.Engine)) (*Trace, *pmem.Engine, *pmem.Image) {
+	e := pmem.NewEngine(pmem.Options{PoolSize: 1 << 14})
+	base := e.MediumSnapshot()
+	rec := NewRecorder()
+	e.AttachHook(rec)
+	f(e)
+	return &rec.T, e, base
+}
+
+func TestRecorderCapturesStream(t *testing.T) {
+	tr, _, _ := recordedRun(func(e *pmem.Engine) {
+		e.Store64(0, 1)
+		e.CLWB(0)
+		e.SFence()
+		e.Load64(0) // not recorded by default
+	})
+	if tr.Len() != 3 {
+		t.Fatalf("trace length %d, want 3", tr.Len())
+	}
+	wantOps := []pmem.Opcode{pmem.OpStore, pmem.OpCLWB, pmem.OpSFence}
+	for i, op := range wantOps {
+		if tr.Records[i].Op != op {
+			t.Errorf("record %d op = %v, want %v", i, tr.Records[i].Op, op)
+		}
+	}
+	if got := tr.Payload(&tr.Records[0]); len(got) != 8 || got[0] != 1 {
+		t.Errorf("store payload = %v", got)
+	}
+	if tr.Records[1].Addr%pmem.CacheLineSize != 0 {
+		t.Error("flush address not line-aligned")
+	}
+}
+
+func TestRecorderLoadsOptIn(t *testing.T) {
+	e := pmem.NewEngine(pmem.Options{PoolSize: 1 << 12})
+	rec := NewRecorder()
+	rec.RecordLoads = true
+	e.AttachHook(rec)
+	e.Load64(0)
+	if rec.T.Len() != 1 || rec.T.Records[0].Op != pmem.OpLoad {
+		t.Fatalf("load not recorded: %+v", rec.T.Records)
+	}
+}
+
+func TestEpochSplitting(t *testing.T) {
+	tr, _, _ := recordedRun(func(e *pmem.Engine) {
+		e.Store64(0, 1)
+		e.CLWB(0)
+		e.SFence() // epoch 0 closes at index 2
+		e.Store64(64, 2)
+		e.NTStore64(128, 3)
+		e.MFence() // epoch 1 closes at index 5
+		e.Store64(192, 4)
+	})
+	eps := tr.Epochs()
+	if len(eps) != 3 {
+		t.Fatalf("got %d epochs, want 3: %+v", len(eps), eps)
+	}
+	if eps[0].Fence != 2 || eps[1].Fence != 5 || eps[2].Fence != -1 {
+		t.Errorf("fence indices: %+v", eps)
+	}
+	if eps[2].Start != 6 || eps[2].End != 7 {
+		t.Errorf("tail epoch: %+v", eps[2])
+	}
+}
+
+func TestSplitUnitsRespectsAtomicSlots(t *testing.T) {
+	tr, _, _ := recordedRun(func(e *pmem.Engine) {
+		data := make([]byte, 20)
+		for i := range data {
+			data[i] = byte(i + 1)
+		}
+		e.Store(5, data) // spans slots [0,8) [8,16) [16,24) [24,32)
+	})
+	units := splitUnits(tr, 0)
+	if len(units) != 4 {
+		t.Fatalf("got %d units, want 4: %+v", len(units), units)
+	}
+	wantAddrs := []uint64{5, 8, 16, 24}
+	wantLens := []int{3, 8, 8, 1}
+	for i, u := range units {
+		if u.Addr != wantAddrs[i] || len(u.Data) != wantLens[i] {
+			t.Errorf("unit %d = (%d,%d), want (%d,%d)", i, u.Addr, len(u.Data), wantAddrs[i], wantLens[i])
+		}
+	}
+}
+
+func TestCursorCertainTracksFencedData(t *testing.T) {
+	tr, _, base := recordedRun(func(e *pmem.Engine) {
+		e.Store64(0, 1)
+		e.CLWB(0)
+		e.Store64(64, 2) // never flushed
+		e.SFence()
+	})
+	c := NewCursor(tr, base)
+	c.SeekTo(tr.Len())
+	img := c.Certain()
+	if got := le64(img.Data[0:]); got != 1 {
+		t.Errorf("fenced store not certain: %d", got)
+	}
+	if got := le64(img.Data[64:]); got != 0 {
+		t.Errorf("unflushed store became certain: %d", got)
+	}
+	unc := c.Uncertain()
+	if len(unc) != 1 || unc[0].Addr != 64 {
+		t.Errorf("uncertain set: %+v", unc)
+	}
+}
+
+func TestCursorCLFlushIsSynchronous(t *testing.T) {
+	tr, _, base := recordedRun(func(e *pmem.Engine) {
+		e.Store64(0, 7)
+		e.CLFlush(0)
+	})
+	c := NewCursor(tr, base)
+	c.SeekTo(tr.Len())
+	if got := le64(c.Certain().Data[0:]); got != 7 {
+		t.Errorf("clflush not certain: %d", got)
+	}
+	if len(c.Uncertain()) != 0 {
+		t.Errorf("uncertain after clflush: %+v", c.Uncertain())
+	}
+}
+
+func TestCursorMaterializeSubset(t *testing.T) {
+	tr, _, base := recordedRun(func(e *pmem.Engine) {
+		e.Store64(0, 1)
+		e.CLWB(0)
+		e.Store64(64, 2)
+		e.CLWB(64)
+		// no fence: both in flight
+	})
+	c := NewCursor(tr, base)
+	c.SeekTo(tr.Len())
+	unc := c.Uncertain()
+	if len(unc) != 2 {
+		t.Fatalf("uncertain = %+v, want 2 units", unc)
+	}
+	img := c.Materialize(unc, func(i int) bool { return i == 1 })
+	if le64(img.Data[0:]) != 0 || le64(img.Data[64:]) != 2 {
+		t.Errorf("subset image: %d %d", le64(img.Data[0:]), le64(img.Data[64:]))
+	}
+}
+
+func TestCursorOverwriteOrder(t *testing.T) {
+	tr, _, base := recordedRun(func(e *pmem.Engine) {
+		e.Store64(0, 1)
+		e.Store64(0, 2) // dirty overwrite
+	})
+	c := NewCursor(tr, base)
+	c.SeekTo(tr.Len())
+	unc := c.Uncertain()
+	if len(unc) != 2 {
+		t.Fatalf("uncertain = %+v", unc)
+	}
+	img := c.PrefixImage()
+	if got := le64(img.Data[0:]); got != 2 {
+		t.Errorf("prefix image lost overwrite order: %d", got)
+	}
+}
+
+// Property: for a random instruction mix, the cursor's prefix image at
+// the end of the trace equals the engine's own PrefixImage.
+func TestPropertyCursorPrefixMatchesEngine(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := pmem.NewEngine(pmem.Options{PoolSize: 1 << 13})
+		base := e.MediumSnapshot()
+		rec := NewRecorder()
+		e.AttachHook(rec)
+		slots := uint64(e.Size() / 8)
+		for i := 0; i < int(n)+5; i++ {
+			addr := (rng.Uint64() % slots) * 8
+			switch rng.Intn(7) {
+			case 0, 1:
+				e.Store64(addr, rng.Uint64())
+			case 2:
+				e.NTStore64(addr, rng.Uint64())
+			case 3:
+				e.CLWB(addr)
+			case 4:
+				e.CLFlushOpt(addr)
+			case 5:
+				e.CLFlush(addr)
+			case 6:
+				e.SFence()
+			}
+		}
+		c := NewCursor(&rec.T, base)
+		c.SeekTo(rec.T.Len())
+		return bytes.Equal(c.PrefixImage().Data, e.PrefixImage().Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the certain image never exposes data the engine's strict
+// medium snapshot does not also expose (certainty is conservative), and
+// certain+all-uncertain covers the medium exactly.
+func TestPropertyCertainConservative(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := pmem.NewEngine(pmem.Options{PoolSize: 1 << 12})
+		base := e.MediumSnapshot()
+		rec := NewRecorder()
+		e.AttachHook(rec)
+		slots := uint64(e.Size() / 8)
+		for i := 0; i < int(n)+3; i++ {
+			addr := (rng.Uint64() % slots) * 8
+			switch rng.Intn(5) {
+			case 0, 1:
+				e.Store64(addr, rng.Uint64()|1)
+			case 2:
+				e.CLWB(addr)
+			case 3:
+				e.SFence()
+			case 4:
+				e.CLFlush(addr)
+			}
+		}
+		c := NewCursor(&rec.T, base)
+		c.SeekTo(rec.T.Len())
+		certain := c.Certain()
+		medium := e.MediumSnapshot()
+		return bytes.Equal(certain.Data, medium.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderAnnotations(t *testing.T) {
+	e := pmem.NewEngine(pmem.Options{PoolSize: 1 << 12})
+	rec := NewRecorder()
+	e.AttachHook(rec)
+	e.Annotate(pmem.AnnTxBegin, 0, 0)
+	e.Store64(0, 1)
+	e.Annotate(pmem.AnnTxEnd, 0, 0)
+	if len(rec.T.Anns) != 2 {
+		t.Fatalf("annotations = %+v", rec.T.Anns)
+	}
+	if rec.T.Anns[0].Kind != pmem.AnnTxBegin || rec.T.Anns[1].Kind != pmem.AnnTxEnd {
+		t.Errorf("annotation kinds: %+v", rec.T.Anns)
+	}
+	if rec.T.Anns[1].ICount != 1 {
+		t.Errorf("annotation icount = %d, want 1", rec.T.Anns[1].ICount)
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func TestTraceSerializeRoundTrip(t *testing.T) {
+	tr, _, base := recordedRun(func(e *pmem.Engine) {
+		e.Annotate(pmem.AnnTxBegin, 0, 0)
+		e.Store64(0, 1)
+		e.CLWB(0)
+		e.SFence()
+		e.Annotate(pmem.AnnTxEnd, 0, 0)
+	})
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || len(got.Anns) != len(tr.Anns) {
+		t.Fatalf("restored %d records/%d anns, want %d/%d", got.Len(), len(got.Anns), tr.Len(), len(tr.Anns))
+	}
+	// The replay cursor over the restored trace behaves identically.
+	c1 := NewCursor(tr, base)
+	c1.SeekTo(tr.Len())
+	c2 := NewCursor(got, base)
+	c2.SeekTo(got.Len())
+	if !bytes.Equal(c1.PrefixImage().Data, c2.PrefixImage().Data) {
+		t.Fatal("restored trace replays differently")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
