@@ -13,6 +13,7 @@ package mumak_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"mumak/internal/apps"
 	_ "mumak/internal/apps/art"
@@ -20,7 +21,7 @@ import (
 	_ "mumak/internal/apps/cceh"
 	_ "mumak/internal/apps/fastfair"
 	_ "mumak/internal/apps/hashatomic"
-	_ "mumak/internal/apps/levelhash"
+	"mumak/internal/apps/levelhash"
 	_ "mumak/internal/apps/montageht"
 	_ "mumak/internal/apps/pmemkv"
 	_ "mumak/internal/apps/rbtree"
@@ -233,6 +234,48 @@ func BenchmarkAblationPhases(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Parallel fault-injection campaign.
+
+// BenchmarkParallelInjection measures the injection-phase wall clock of
+// the counter-mode campaign as the worker pool widens. Counter-mode
+// replays are independent (private engines, deterministic workload), so
+// the phase should scale near-linearly; the reported inject_sec metric
+// is the phase time alone, excluding the serial instrumented run.
+func BenchmarkParallelInjection(b *testing.B) {
+	targets := []struct {
+		name string
+		mk   func() harness.Application
+		w    workload.Workload
+	}{
+		{
+			name: "btree",
+			mk:   func() harness.Application { return btree.New(apps.Config{SPT: true, PoolSize: 4 << 20}) },
+			w:    workload.Generate(workload.Config{N: 1500, Seed: 42}),
+		},
+		{
+			name: "levelhash",
+			mk:   func() harness.Application { return levelhash.New(apps.Config{PoolSize: 4 << 20, WithRecovery: true}) },
+			w:    workload.Generate(workload.Config{N: 1500, Seed: 42}),
+		},
+	}
+	for _, tgt := range targets {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers-%d", tgt.name, workers), func(b *testing.B) {
+				var inject time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := core.Analyze(tgt.mk(), tgt.w,
+						core.Config{DisableTraceAnalysis: true, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					inject += res.InjectTime
+				}
+				b.ReportMetric(inject.Seconds()/float64(b.N), "inject_sec")
+			})
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -51,6 +52,7 @@ func main() {
 		eadr       = flag.Bool("eadr", false, "analyse under an eADR persistence domain (§4.3)")
 		storeGran  = flag.Bool("store-granularity", false, "inject at every store instead of persistency instructions (ablation)")
 		stackMode  = flag.Bool("stack-mode", false, "match failure points by call stack instead of instruction counter")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent fault-injection replays (counter mode only; 1 = serial)")
 		budget     = flag.Duration("budget", 10*time.Minute, "analysis wall-clock budget (the paper uses 12h)")
 		seedBugs   = flag.String("seed-bugs", "", "comma-separated seeded bug IDs to plant (see internal/bugs)")
 		montageBug = flag.Bool("montage-buggy", false, "enable the two historical Montage bugs")
@@ -97,6 +99,7 @@ func main() {
 		Granularity:  gran,
 		Budget:       *budget,
 		StackMode:    *stackMode,
+		Workers:      *workers,
 		KeepWarnings: *warnings,
 		EADR:         *eadr,
 	})
@@ -125,6 +128,16 @@ func main() {
 	fmt.Print(res.Report.Format(*warnings))
 	fmt.Printf("\nfailure points: %d (tree nodes %d) | injections: %d | trace records: %d\n",
 		res.Tree.Len(), res.Tree.Nodes(), res.Injections, res.TraceLen)
+	if res.SkippedFailurePoints > 0 {
+		fmt.Printf("skipped failure points: %d (coverage is below one fault per failure point)\n",
+			res.SkippedFailurePoints)
+	}
+	if res.InjectionAborted {
+		fmt.Println("fault-injection campaign aborted: repeated replays made no progress")
+	}
+	for _, e := range res.InjectionErrors {
+		fmt.Println("  ", e)
+	}
 	fmt.Printf("time: %s total (instrument %s, inject %s, trace analysis %s)\n",
 		res.Elapsed.Round(time.Millisecond), res.InstrumentTime.Round(time.Millisecond),
 		res.InjectTime.Round(time.Millisecond), res.AnalysisTime.Round(time.Millisecond))

@@ -49,6 +49,12 @@ type Config struct {
 	// StackMode makes the injector match call stacks instead of
 	// instruction counters, for non-deterministic targets (§5).
 	StackMode bool
+	// Workers bounds the number of concurrent counter-mode replays in
+	// the fault-injection campaign; 0 or 1 runs serially. Findings are
+	// merged in leaf first-occurrence order, so the report is identical
+	// for any worker count. Stack mode ignores the knob: its injector
+	// mutates the shared failure point tree and must run serially.
+	Workers int
 	// KeepWarnings retains §4.2 warnings in the report (they are
 	// always excluded from bug counts).
 	KeepWarnings bool
@@ -72,6 +78,19 @@ type Result struct {
 	Injections int
 	// Recoveries is the number of recovery-oracle invocations.
 	Recoveries int
+	// SkippedFailurePoints counts counter-mode failure points consumed
+	// without an injection: the replay errored or never reached the
+	// recorded instruction counter. A non-zero value means campaign
+	// coverage is below one fault per unique failure point.
+	SkippedFailurePoints int
+	// InjectionAborted reports that the stack-mode campaign gave up
+	// after repeated replays failed without reaching any unvisited
+	// failure point.
+	InjectionAborted bool
+	// InjectionErrors samples the errors behind skipped failure points
+	// and aborted campaigns (capped; SkippedFailurePoints is the full
+	// count).
+	InjectionErrors []string
 	// Elapsed is the total analysis wall time; the phase fields break
 	// it down.
 	Elapsed        time.Duration
@@ -82,6 +101,15 @@ type Result struct {
 	TimedOut bool
 	// EngineEvents counts simulated PM instructions across all runs.
 	EngineEvents uint64
+}
+
+// addInjectionError samples an injection-campaign error into the result,
+// up to maxInjectionErrors entries. It is only called from the (single)
+// campaign merge goroutine, so it needs no locking.
+func (r *Result) addInjectionError(msg string) {
+	if len(r.InjectionErrors) < maxInjectionErrors {
+		r.InjectionErrors = append(r.InjectionErrors, msg)
+	}
 }
 
 // Analyze runs the full Mumak pipeline on the target.

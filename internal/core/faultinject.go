@@ -1,15 +1,30 @@
 package core
 
 import (
+	"fmt"
 	"time"
+	"unicode/utf8"
 
 	"mumak/internal/fpt"
 	"mumak/internal/harness"
 	"mumak/internal/oracle"
 	"mumak/internal/pmem"
 	"mumak/internal/report"
+	"mumak/internal/stack"
 	"mumak/internal/workload"
 )
+
+// maxNoProgress bounds consecutive stack-mode iterations that make no
+// progress (the replay errors before any unvisited failure point fires).
+// With a deterministic target one such failure implies every retry fails
+// the same way, so a small bound suffices to avoid a livelock while
+// still tolerating the occasional non-deterministic hiccup stack mode
+// exists to serve.
+const maxNoProgress = 3
+
+// maxInjectionErrors caps the error strings sampled into
+// Result.InjectionErrors; SkippedFailurePoints keeps the honest total.
+const maxInjectionErrors = 8
 
 // injectAll visits every unvisited leaf of the failure point tree,
 // injecting one fault per unique failure point (steps 7-9 of Fig 1),
@@ -18,21 +33,154 @@ import (
 //
 // In the default counter mode the injector crashes at the leaf's
 // recorded first-occurrence instruction counter — the §5 optimisation
-// that works because the target is deterministic. In stack mode it
-// re-matches call stacks, which needs stack capture on every replay but
-// tolerates non-determinism.
+// that works because the target is deterministic. Counter-mode replays
+// are independent (each constructs a private engine), so the campaign
+// fans out across cfg.Workers goroutines when asked to. In stack mode
+// it re-matches call stacks, which needs stack capture on every replay
+// but tolerates non-determinism; the stack-mode injector mutates the
+// shared tree, so that campaign always runs serially.
 func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
 
-	stacks := tree.Stacks()
-	capture := pmem.CaptureNone
 	if cfg.StackMode {
-		capture = pmem.CapturePersistency
-		if cfg.Granularity == fpt.GranStore {
-			capture = pmem.CaptureStores
+		return injectStackSerial(app, w, tree, cfg, rep, res, deadline)
+	}
+	leaves := tree.Unvisited()
+	if cfg.Workers > 1 && len(leaves) > 1 {
+		return injectCounterParallel(app, w, leaves, tree.Stacks(), cfg, rep, res, deadline)
+	}
+	return injectCounterSerial(app, w, leaves, tree.Stacks(), cfg, rep, res, deadline)
+}
+
+// counterOutcome is the result of replaying one counter-mode leaf on a
+// private engine. It carries everything the merge step needs, so that
+// replays can run on any goroutine while the shared Result and Report
+// are only ever touched in deterministic leaf order.
+type counterOutcome struct {
+	// executed is false when the replay never ran (deadline expired).
+	executed bool
+	// events is the number of engine instruction events of the replay.
+	events uint64
+	// injected reports that the replay reached the target counter and
+	// crashed there.
+	injected bool
+	// recovered reports that the recovery oracle ran.
+	recovered bool
+	// skipReason is non-empty when the leaf was consumed without an
+	// injection: the replay errored or never reached the counter.
+	skipReason string
+	// finding is the crash-consistency finding, if the oracle rejected
+	// the post-failure state.
+	finding *report.Finding
+}
+
+// replayLeaf runs one counter-mode fault injection: a fresh execution
+// crashed at the leaf's first-occurrence instruction counter, followed
+// by the recovery oracle over the graceful-crash image (§4.1). It is
+// safe to call concurrently for different leaves: the engine, the crash
+// image and the oracle's recovery engine are all private to the call.
+func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
+	stacks *stack.Table) counterOutcome {
+
+	out := counterOutcome{executed: true}
+	// Counter mode needs no hook at all: the engine crashes itself at
+	// the recorded counter (§5's minimal instrumentation).
+	opts := pmem.Options{Capture: pmem.CaptureNone, Stacks: stacks, CrashAt: leaf.FirstICount}
+	eng, sig, err := harness.Execute(app, w, opts)
+	out.events = eng.Events()
+	if err != nil {
+		// The workload failed before the failure point — the run
+		// diverged (should not happen with deterministic targets).
+		out.skipReason = fmt.Sprintf("replay failed before the failure point: %v", err)
+		return out
+	}
+	if sig == nil {
+		out.skipReason = "target instruction counter never reached on replay"
+		return out
+	}
+	out.injected = true
+
+	// Materialise the graceful-crash image and run the vanilla,
+	// uninstrumented recovery procedure on it (§4.1).
+	img := eng.PrefixImage()
+	check := oracle.Check(app, img)
+	out.recovered = true
+	if !check.Consistent() {
+		detail := check.Describe()
+		if check.Verdict == oracle.Crashed && check.PanicTrace != "" {
+			// Provide the recovery call trace for abrupt failures.
+			detail += "\nrecovery trace:\n" + truncate(check.PanicTrace, 800)
+		}
+		out.finding = &report.Finding{
+			Kind:   report.CrashConsistency,
+			ICount: sig.ICount,
+			Stack:  leaf.Stack,
+			Detail: detail,
 		}
 	}
+	return out
+}
+
+// consumeOutcome folds one leaf's replay outcome into the shared result
+// and report, marking the leaf visited. Both the serial and the parallel
+// campaign call it in FirstICount order, so the merged report is
+// byte-identical regardless of scheduling.
+func consumeOutcome(leaf *fpt.Leaf, out counterOutcome, rep *report.Report, res *Result) {
+	leaf.Visited = true
+	res.EngineEvents += out.events
+	if out.skipReason != "" {
+		res.SkippedFailurePoints++
+		res.addInjectionError(fmt.Sprintf("failure point #%d (instruction %d): %s",
+			leaf.ID, leaf.FirstICount, out.skipReason))
+		return
+	}
+	res.Injections++
+	if out.recovered {
+		res.Recoveries++
+	}
+	if out.finding != nil {
+		rep.Add(*out.finding)
+	}
+}
+
+// injectCounterSerial replays the leaves one at a time in FirstICount
+// order. It is the Workers<=1 path and the reference order the parallel
+// campaign reproduces.
+func injectCounterSerial(app harness.Application, w workload.Workload, leaves []*fpt.Leaf,
+	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
+
 	injected := 0
+	for _, leaf := range leaves {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return true
+		}
+		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
+			return false
+		}
+		out := replayLeaf(app, w, leaf, stacks)
+		consumeOutcome(leaf, out, rep, res)
+		if out.injected {
+			injected++
+		}
+	}
+	return false
+}
+
+// injectStackSerial is the stack-mode campaign: every iteration re-runs
+// the workload with an injector hook that crashes at the first unvisited
+// failure point whose call stack it re-encounters. The injector mutates
+// the shared tree (marking leaves visited), so this campaign cannot fan
+// out.
+func injectStackSerial(app harness.Application, w workload.Workload, tree *fpt.Tree,
+	cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
+
+	stacks := tree.Stacks()
+	capture := pmem.CapturePersistency
+	if cfg.Granularity == fpt.GranStore {
+		capture = pmem.CaptureStores
+	}
+	injected := 0
+	noProgress := 0
 	for {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return true
@@ -40,58 +188,43 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
 			return false
 		}
-		var inj *fpt.Injector
-		opts := pmem.Options{Capture: capture, Stacks: stacks}
-		var hooks []pmem.Hook
-		var leaf *fpt.Leaf
-		if cfg.StackMode {
-			inj = &fpt.Injector{Tree: tree, StackMode: true, Granularity: cfg.Granularity}
-			hooks = append(hooks, inj)
-		} else {
-			unvisited := tree.Unvisited()
-			if len(unvisited) == 0 {
-				return false
-			}
-			leaf = unvisited[0]
-			leaf.Visited = true
-			// Counter mode needs no hook at all: the engine crashes
-			// itself at the recorded counter (§5's minimal
-			// instrumentation).
-			opts.CrashAt = leaf.FirstICount
-		}
-		eng, sig, err := harness.Execute(app, w, opts, hooks...)
+		inj := &fpt.Injector{Tree: tree, StackMode: true, Granularity: cfg.Granularity}
+		eng, sig, err := harness.Execute(app, w,
+			pmem.Options{Capture: capture, Stacks: stacks}, inj)
 		res.EngineEvents += eng.Events()
 		if err != nil {
-			// The workload failed before the failure point — the run
-			// diverged (should not happen with deterministic targets).
-			continue
-		}
-		if sig == nil {
-			if cfg.StackMode {
-				// No unvisited failure point was reached; done.
+			// The workload failed before any unvisited failure point
+			// fired: no leaf was consumed, so retrying the identical
+			// deterministic run would loop forever. Bound the retries
+			// and surface the abort instead.
+			noProgress++
+			res.addInjectionError(fmt.Sprintf(
+				"stack-mode replay made no progress (attempt %d/%d): %v",
+				noProgress, maxNoProgress, err))
+			if noProgress >= maxNoProgress {
+				res.InjectionAborted = true
 				return false
 			}
-			// The target counter was never reached; skip this leaf.
 			continue
+		}
+		noProgress = 0
+		if sig == nil {
+			// No unvisited failure point was reached; done.
+			return false
 		}
 		injected++
 		res.Injections++
 
-		// Materialise the graceful-crash image and run the vanilla,
-		// uninstrumented recovery procedure on it (§4.1).
 		img := eng.PrefixImage()
 		out := oracle.Check(app, img)
 		res.Recoveries++
 		if !out.Consistent() {
 			detail := out.Describe()
 			if out.Verdict == oracle.Crashed && out.PanicTrace != "" {
-				// Provide the recovery call trace for abrupt failures.
 				detail += "\nrecovery trace:\n" + truncate(out.PanicTrace, 800)
 			}
 			stackID := sig.Stack
-			if leaf != nil {
-				stackID = leaf.Stack
-			} else if inj != nil && inj.Fired != nil {
+			if inj.Fired != nil {
 				stackID = inj.Fired.Stack
 			}
 			rep.Add(report.Finding{
@@ -104,9 +237,16 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	}
 }
 
+// truncate shortens s to at most n bytes, backing off to the previous
+// rune boundary so that a cut never emits invalid UTF-8 into reports
+// (recovery panic traces may carry multi-byte runes).
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
 	}
-	return s[:n] + "\n    ..."
+	cut := n
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "\n    ..."
 }

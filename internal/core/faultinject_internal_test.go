@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/btree"
+	"mumak/internal/fpt"
+	"mumak/internal/harness"
+	"mumak/internal/pmem"
+	"mumak/internal/report"
+	"mumak/internal/stack"
+	"mumak/internal/workload"
+)
+
+// failingApp wraps a target so that every execution fails before any PM
+// instruction, deterministically — the worst case for a campaign that
+// assumes replays reproduce the instrumented run.
+type failingApp struct{ harness.Application }
+
+func (failingApp) Setup(e *pmem.Engine) error {
+	return errors.New("deterministic setup failure")
+}
+
+// buildTree runs the phase-1 instrumented execution and returns the
+// failure point tree, mirroring what Analyze does before injection.
+func buildTree(t *testing.T, app harness.Application, w workload.Workload) (*fpt.Tree, *stack.Table) {
+	t.Helper()
+	stacks := stack.NewTable()
+	tree := fpt.New(stacks)
+	builder := fpt.NewBuilder(tree, fpt.GranPersistency)
+	_, sig, err := harness.Execute(app, w,
+		pmem.Options{Capture: pmem.CapturePersistency, Stacks: stacks}, builder)
+	if err != nil || sig != nil {
+		t.Fatalf("instrumented run: err=%v sig=%v", err, sig)
+	}
+	if tree.Len() == 0 {
+		t.Fatal("instrumented run produced no failure points")
+	}
+	return tree, stacks
+}
+
+func testTarget() harness.Application {
+	return btree.New(apps.Config{SPT: true, PoolSize: 1 << 20})
+}
+
+func testWorkload() workload.Workload {
+	return workload.Generate(workload.Config{N: 60, Seed: 7, Keyspace: 20})
+}
+
+// TestCounterModeCountsUnreachedCounter plants a leaf whose recorded
+// instruction counter lies beyond the end of the run: the replay
+// completes without crashing, and the campaign must consume the leaf as
+// skipped instead of silently dropping it.
+func TestCounterModeCountsUnreachedCounter(t *testing.T) {
+	app, w := testTarget(), testWorkload()
+	tree, stacks := buildTree(t, app, w)
+	fake := stacks.Intern([]uintptr{0xdead})
+	if _, added := tree.Insert(fake, 1<<40); !added {
+		t.Fatal("unreachable leaf not inserted")
+	}
+
+	rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
+	res := &Result{Report: rep}
+	if timedOut := injectAll(app, w, tree, Config{}, rep, res, time.Time{}); timedOut {
+		t.Fatal("unexpected timeout")
+	}
+	if res.SkippedFailurePoints != 1 {
+		t.Fatalf("SkippedFailurePoints = %d, want 1", res.SkippedFailurePoints)
+	}
+	if res.Injections != tree.Len()-1 {
+		t.Fatalf("Injections = %d, want %d", res.Injections, tree.Len()-1)
+	}
+	if len(res.InjectionErrors) != 1 || !strings.Contains(res.InjectionErrors[0], "never reached") {
+		t.Fatalf("InjectionErrors = %q, want one never-reached entry", res.InjectionErrors)
+	}
+	if len(tree.Unvisited()) != 0 {
+		t.Fatalf("%d leaves left unvisited", len(tree.Unvisited()))
+	}
+}
+
+// TestCounterModeCountsFailedReplays drives the campaign with a target
+// whose replays deterministically error: every leaf must be consumed and
+// counted as skipped — serially and in parallel, with identical totals.
+func TestCounterModeCountsFailedReplays(t *testing.T) {
+	app, w := testTarget(), testWorkload()
+	for _, workers := range []int{0, 4} {
+		tree, stacks := buildTree(t, app, w)
+		rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
+		res := &Result{Report: rep}
+		bad := failingApp{app}
+		if timedOut := injectAll(bad, w, tree, Config{Workers: workers}, rep, res, time.Time{}); timedOut {
+			t.Fatal("unexpected timeout")
+		}
+		if res.Injections != 0 || res.Recoveries != 0 {
+			t.Fatalf("workers=%d: Injections=%d Recoveries=%d, want 0/0", workers, res.Injections, res.Recoveries)
+		}
+		if res.SkippedFailurePoints != tree.Len() {
+			t.Fatalf("workers=%d: SkippedFailurePoints = %d, want %d", workers, res.SkippedFailurePoints, tree.Len())
+		}
+		if len(res.InjectionErrors) == 0 || len(res.InjectionErrors) > maxInjectionErrors {
+			t.Fatalf("workers=%d: InjectionErrors has %d entries, want 1..%d",
+				workers, len(res.InjectionErrors), maxInjectionErrors)
+		}
+	}
+}
+
+// TestStackModeAbortsAfterNoProgress regresses the stack-mode livelock:
+// a replay that errors before reaching any unvisited failure point used
+// to retry the identical deterministic run forever. The campaign must
+// abort after a bounded number of no-progress attempts and surface the
+// error.
+func TestStackModeAbortsAfterNoProgress(t *testing.T) {
+	app, w := testTarget(), testWorkload()
+	tree, stacks := buildTree(t, app, w)
+	rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
+	res := &Result{Report: rep}
+	bad := failingApp{app}
+	// A short deadline turns a regressed livelock into a test failure
+	// (timedOut=true) instead of a hang.
+	deadline := time.Now().Add(30 * time.Second)
+	timedOut := injectAll(bad, w, tree, Config{StackMode: true}, rep, res, deadline)
+	if timedOut {
+		t.Fatal("campaign hit the deadline: no-progress retries were not bounded")
+	}
+	if !res.InjectionAborted {
+		t.Fatal("InjectionAborted not set after repeated no-progress replays")
+	}
+	if len(res.InjectionErrors) != maxNoProgress {
+		t.Fatalf("InjectionErrors has %d entries, want %d", len(res.InjectionErrors), maxNoProgress)
+	}
+}
+
+func TestTruncateRuneBoundary(t *testing.T) {
+	multi := strings.Repeat("é", 600) // 2-byte rune: every odd index splits it
+	for _, n := range []int{1, 2, 3, 799, 800, 801} {
+		got := truncate(multi, n)
+		if !utf8.ValidString(got) {
+			t.Errorf("truncate(%d) emitted invalid UTF-8: %q...", n, got[:8])
+		}
+		if !strings.HasSuffix(got, "...") {
+			t.Errorf("truncate(%d) lost the ellipsis marker", n)
+		}
+	}
+	if got := truncate("short", 800); got != "short" {
+		t.Errorf("truncate left short string %q", got)
+	}
+	exact := strings.Repeat("a", 800)
+	if got := truncate(exact, 800); got != exact {
+		t.Errorf("truncate modified string of exactly n bytes")
+	}
+}

@@ -1,0 +1,97 @@
+// Parallel counter-mode fault injection.
+//
+// Every counter-mode replay is independent: it builds a fresh private
+// pmem.Engine, re-runs the deterministic workload, crashes it at the
+// leaf's recorded instruction counter and hands the graceful-crash image
+// to a private recovery engine. Nothing but the read-only workload, the
+// stateless application value and the (concurrency-safe) stack table is
+// shared, so the campaign — the hot path of the whole analysis — fans
+// out across a bounded worker pool.
+//
+// Determinism is preserved by separating execution from merging: workers
+// replay leaves in any order, but a single merge loop folds the outcomes
+// into the Result and Report strictly in leaf FirstICount order — the
+// same order the serial campaign uses — so the final report is
+// byte-identical for any worker count. Budget expiry and the
+// MaxFailurePoints cap are likewise decided only at merge time, in leaf
+// order; speculative replays beyond the stop point are discarded
+// unconsumed, keeping even the aggregate counters identical to a serial
+// run.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mumak/internal/fpt"
+	"mumak/internal/harness"
+	"mumak/internal/report"
+	"mumak/internal/stack"
+	"mumak/internal/workload"
+)
+
+// injectCounterParallel fans the counter-mode leaves out across
+// cfg.Workers goroutines and merges the outcomes deterministically. It
+// returns whether the deadline expired before every leaf was consumed.
+func injectCounterParallel(app harness.Application, w workload.Workload, leaves []*fpt.Leaf,
+	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
+
+	n := len(leaves)
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	outcomes := make([]counterOutcome, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	// next hands out contiguous leaf indices; every index taken is
+	// guaranteed to have its done channel closed, so the merge loop can
+	// wait on slots in order without risking a stall.
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					// Leave the slot marked not-executed; the merge
+					// loop turns the first such slot into TimedOut.
+					close(done[i])
+					return
+				}
+				outcomes[i] = replayLeaf(app, w, leaves[i], stacks)
+				close(done[i])
+			}
+		}()
+	}
+
+	injected := 0
+	for i := 0; i < n; i++ {
+		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
+			break
+		}
+		<-done[i]
+		out := outcomes[i]
+		if !out.executed {
+			timedOut = true
+			break
+		}
+		consumeOutcome(leaves[i], out, rep, res)
+		if out.injected {
+			injected++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	return timedOut
+}

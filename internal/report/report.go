@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"mumak/internal/stack"
 	"mumak/internal/taxonomy"
@@ -106,7 +107,10 @@ type Finding struct {
 	Detail string
 }
 
-// Report is the output of one analysis.
+// Report is the output of one analysis. Add and Merge are safe to call
+// from concurrent campaign workers; the read accessors (Unique, Bugs,
+// Format, ...) expect the findings to be quiescent, as they are once a
+// campaign has been merged.
 type Report struct {
 	// Target and Tool identify the run.
 	Target string
@@ -115,10 +119,32 @@ type Report struct {
 	Findings []Finding
 	// Stacks resolves finding stacks for rendering.
 	Stacks *stack.Table
+
+	mu sync.Mutex
 }
 
 // Add appends a finding.
-func (r *Report) Add(f Finding) { r.Findings = append(r.Findings, f) }
+func (r *Report) Add(f Finding) {
+	r.mu.Lock()
+	r.Findings = append(r.Findings, f)
+	r.mu.Unlock()
+}
+
+// Merge appends every finding of other, preserving its order. It lets a
+// campaign worker accumulate findings into a private report and fold
+// them into the shared one in a single deterministic step.
+func (r *Report) Merge(other *Report) {
+	if other == nil || r == other {
+		return
+	}
+	other.mu.Lock()
+	fs := make([]Finding, len(other.Findings))
+	copy(fs, other.Findings)
+	other.mu.Unlock()
+	r.mu.Lock()
+	r.Findings = append(r.Findings, fs...)
+	r.mu.Unlock()
+}
 
 // Unique returns the findings filtered to one per unique bug: same kind
 // and same code path (or same address when no stack was captured)

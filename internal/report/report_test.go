@@ -2,6 +2,7 @@ package report
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -109,5 +110,58 @@ func TestWriteJSON(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("JSON lacks %s:\n%s", want, out)
 		}
+	}
+}
+
+func TestConcurrentAddAndMerge(t *testing.T) {
+	// Campaign workers may Add into the shared report or Merge private
+	// reports into it concurrently; under -race this test proves the
+	// accessors are safe and that no finding is lost.
+	r := &Report{Target: "t", Tool: "Mumak"}
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			priv := &Report{}
+			for i := 0; i < per; i++ {
+				f := Finding{Kind: CrashConsistency, ICount: uint64(g*per + i), Stack: stack.NoID}
+				if g%2 == 0 {
+					r.Add(f)
+				} else {
+					priv.Add(f)
+				}
+			}
+			r.Merge(priv)
+		}()
+	}
+	wg.Wait()
+	if len(r.Findings) != workers*per {
+		t.Fatalf("lost findings: %d recorded, want %d", len(r.Findings), workers*per)
+	}
+}
+
+func TestMergePreservesOrder(t *testing.T) {
+	src := &Report{}
+	for i := 0; i < 5; i++ {
+		src.Add(Finding{Kind: CrashConsistency, ICount: uint64(i), Stack: stack.NoID})
+	}
+	dst := &Report{}
+	dst.Add(Finding{Kind: Durability, ICount: 99, Stack: stack.NoID})
+	dst.Merge(src)
+	if len(dst.Findings) != 6 {
+		t.Fatalf("merged report has %d findings, want 6", len(dst.Findings))
+	}
+	for i := 1; i < 6; i++ {
+		if dst.Findings[i].ICount != uint64(i-1) {
+			t.Fatalf("merge reordered findings: %v", dst.Findings)
+		}
+	}
+	dst.Merge(nil)
+	dst.Merge(dst) // self-merge must not duplicate or deadlock
+	if len(dst.Findings) != 6 {
+		t.Fatalf("nil/self merge changed the report: %d findings", len(dst.Findings))
 	}
 }

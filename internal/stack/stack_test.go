@@ -4,6 +4,7 @@ import . "mumak/internal/stack"
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -161,4 +162,31 @@ func slicesEqual(a, b []uintptr) bool {
 		}
 	}
 	return true
+}
+
+func TestTableConcurrentUse(t *testing.T) {
+	// The table is shared by all engines of a parallel fault-injection
+	// campaign; under -race this exercises every accessor concurrently.
+	tbl := NewTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := tbl.Intern([]uintptr{uintptr(g%4 + 1), uintptr(i%17 + 1), 7})
+				if pcs := tbl.PCs(id); len(pcs) != 3 {
+					t.Errorf("interned stack resolved to %d PCs", len(pcs))
+					return
+				}
+				if cid := captureViaHelper(tbl); cid != NoID {
+					_ = tbl.Frames(cid)
+					_ = tbl.Format(cid)
+				}
+				_ = tbl.Len()
+			}
+		}()
+	}
+	wg.Wait()
 }
