@@ -335,16 +335,47 @@ func BenchmarkFPTInsertLookup(b *testing.B) {
 }
 
 func BenchmarkTraceAnalysisThroughput(b *testing.B) {
-	// Measure the single-pass §4.2 analysis over a prerecorded trace.
+	// Measure the streaming §4.2 analysis, which runs inline with the
+	// instrumented execution and never materialises the trace.
 	app := btree.New(apps.Config{SPT: true, PoolSize: 4 << 20})
 	w := workload.Generate(workload.Config{N: 2000, Seed: 42})
 	b.ResetTimer()
+	var peakState uint64
 	for i := 0; i < b.N; i++ {
 		res, err := core.Analyze(app, w, core.Config{DisableFaultInjection: true})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(res.TraceLen))
+		peakState = res.AnalyzerPeakStateBytes
+	}
+	b.ReportMetric(float64(peakState), "peak_state_bytes")
+}
+
+func BenchmarkTraceAnalysisStateScaling(b *testing.B) {
+	// The online analyzer's working set must be proportional to live
+	// cache lines, not trace length: growing the workload 4x grows the
+	// analysed event count but must leave peak_state_bytes flat (compare
+	// the metric across sub-benchmarks; trace_records grows instead).
+	for _, n := range []int{2000, 8000} {
+		n := n
+		b.Run(fmt.Sprintf("ops=%d", n), func(b *testing.B) {
+			app := btree.New(apps.Config{SPT: true, PoolSize: 16 << 20})
+			w := workload.Generate(workload.Config{N: n, Seed: 42, Keyspace: 500})
+			b.ResetTimer()
+			var peakState uint64
+			var records int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Analyze(app, w, core.Config{DisableFaultInjection: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peakState = res.AnalyzerPeakStateBytes
+				records = res.TraceLen
+			}
+			b.ReportMetric(float64(peakState), "peak_state_bytes")
+			b.ReportMetric(float64(records), "trace_records")
+		})
 	}
 }
 

@@ -43,7 +43,7 @@ func main() {
 	var (
 		target     = flag.String("target", "btree", "application under test (see -list)")
 		list       = flag.Bool("list", false, "list registered targets and exit")
-		ops        = flag.Int("ops", 15000, "workload size (the paper uses 150000)")
+		ops        = flag.Int("ops", 150000, "workload size (the paper's scale; the online analyzer keeps memory flat and -budget bounds the wall clock)")
 		seed       = flag.Int64("seed", 42, "workload seed")
 		spt        = flag.Bool("spt", false, "single put per transaction variant")
 		pmdkVer    = flag.String("pmdk", "1.6", "PMDK version for PMDK-based targets: 1.6, 1.8, 1.12")
@@ -58,7 +58,7 @@ func main() {
 		montageBug = flag.Bool("montage-buggy", false, "enable the two historical Montage bugs")
 		recovery   = flag.Bool("with-recovery", true, "use the full recovery procedure for targets that ship without one")
 		poolMB     = flag.Int("pool-mb", 64, "simulated PM pool size in MiB")
-		artifacts  = flag.String("artifacts", "", "directory to store the serialised failure point tree and trace (step 5/6 of Fig 1)")
+		artifacts  = flag.String("artifacts", "", "directory to store the serialised failure point tree (step 5 of Fig 1; the trace is analysed online and never materialised)")
 		printTree  = flag.Bool("print-tree", false, "render the failure point tree (the Fig 2 view)")
 	)
 	flag.Parse()
@@ -128,6 +128,10 @@ func main() {
 	fmt.Print(res.Report.Format(*warnings))
 	fmt.Printf("\nfailure points: %d (tree nodes %d) | injections: %d | trace records: %d\n",
 		res.Tree.Len(), res.Tree.Nodes(), res.Injections, res.TraceLen)
+	if res.AnalyzerPeakLines > 0 {
+		fmt.Printf("analyzer state: peak %d live cache lines, ~%d bytes (streamed, trace not materialised)\n",
+			res.AnalyzerPeakLines, res.AnalyzerPeakStateBytes)
+	}
 	if res.SkippedFailurePoints > 0 {
 		fmt.Printf("skipped failure points: %d (coverage is below one fault per failure point)\n",
 			res.SkippedFailurePoints)

@@ -27,7 +27,6 @@ import (
 	"mumak/internal/pmem"
 	"mumak/internal/report"
 	"mumak/internal/stack"
-	"mumak/internal/trace"
 	"mumak/internal/workload"
 )
 
@@ -91,6 +90,14 @@ type Result struct {
 	// and aborted campaigns (capped; SkippedFailurePoints is the full
 	// count).
 	InjectionErrors []string
+	// AnalyzerPeakLines is the online analyzer's peak number of
+	// simultaneously tracked cache lines (zero when trace analysis was
+	// disabled).
+	AnalyzerPeakLines int
+	// AnalyzerPeakStateBytes is the online analyzer's peak approximate
+	// resident state; it stays proportional to live cache lines rather
+	// than trace length.
+	AnalyzerPeakStateBytes uint64
 	// Elapsed is the total analysis wall time; the phase fields break
 	// it down.
 	Elapsed        time.Duration
@@ -124,17 +131,29 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 	rep := &report.Report{Target: app.Name(), Tool: "Mumak", Stacks: stacks}
 	res.Report = rep
 
-	// Phase 1: instrumented run -> failure point tree + trace.
+	// Phase 1: instrumented run -> failure point tree + online trace
+	// analysis. The §4.2 analyzer consumes the instruction stream as the
+	// workload executes, so the trace is never materialised: resident
+	// state is proportional to live cache lines, not trace length.
 	capture := pmem.CapturePersistency
 	if cfg.Granularity == fpt.GranStore {
 		capture = pmem.CaptureStores
 	}
 	tree := fpt.New(stacks)
 	builder := fpt.NewBuilder(tree, cfg.Granularity)
-	rec := trace.NewRecorder()
+	hooks := []pmem.Hook{builder}
+	var analyzer *Analyzer
+	var counter *eventCounter
+	if cfg.DisableTraceAnalysis {
+		counter = &eventCounter{}
+		hooks = append(hooks, counter)
+	} else {
+		analyzer = NewAnalyzer(cfg)
+		hooks = append(hooks, analyzer)
+	}
 	t0 := time.Now()
 	eng, sig, err := harness.Execute(app, w,
-		pmem.Options{Capture: capture, Stacks: stacks, EADR: cfg.EADR}, builder, rec)
+		pmem.Options{Capture: capture, Stacks: stacks, EADR: cfg.EADR}, hooks...)
 	if err != nil {
 		return nil, fmt.Errorf("instrumented run: %w", err)
 	}
@@ -144,7 +163,11 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 	res.EngineEvents += eng.Events()
 	res.InstrumentTime = time.Since(t0)
 	res.Tree = tree
-	res.TraceLen = rec.T.Len()
+	if analyzer != nil {
+		res.TraceLen = analyzer.Events()
+	} else {
+		res.TraceLen = counter.events
+	}
 
 	// Phase 2: fault injection with the recovery oracle.
 	if !cfg.DisableFaultInjection {
@@ -153,10 +176,11 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 		res.InjectTime = time.Since(t0)
 	}
 
-	// Phase 3: single-pass trace analysis.
-	if !cfg.DisableTraceAnalysis {
+	// Phase 3: finalise the single-pass trace analysis (the per-event
+	// work already ran inline with phase 1).
+	if analyzer != nil {
 		t0 = time.Now()
-		findings := analyzeTrace(&rec.T, cfg)
+		findings := analyzer.Finalize()
 		resolveStacks(app, w, capture, stacks, findings)
 		for _, f := range findings {
 			if f.Kind.IsWarning() && !cfg.KeepWarnings {
@@ -164,9 +188,22 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 			}
 			rep.Add(*f)
 		}
+		res.AnalyzerPeakLines = analyzer.PeakLiveLines()
+		res.AnalyzerPeakStateBytes = analyzer.PeakStateBytes()
 		res.AnalysisTime = time.Since(t0)
 	}
 
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// eventCounter keeps Result.TraceLen meaningful when trace analysis is
+// disabled, without recording anything.
+type eventCounter struct{ events int }
+
+// OnEvent implements pmem.Hook.
+func (c *eventCounter) OnEvent(ev *pmem.Event) {
+	if ev.Op != pmem.OpLoad {
+		c.events++
+	}
 }

@@ -1,181 +1,30 @@
 package core
 
 import (
-	"fmt"
-
 	"mumak/internal/pmem"
 	"mumak/internal/report"
 	"mumak/internal/trace"
 )
 
-// lineState tracks one cache line across the single analysis pass.
-type lineState struct {
-	// dirty marks bytes stored (through the cache) since the line's
-	// last write-back.
-	dirty uint64
-	// unflushed holds the trace indices of store records contributing
-	// dirty bytes not yet covered by any flush.
-	unflushed []int
-	// storesSinceFlush counts contributing store records since the
-	// last write-back, for the multi-store-flush warning.
-	storesSinceFlush int
-	// everFlushed records whether the line was flushed at any point of
-	// the execution (distinguishing durability bugs from transient
-	// data, §4.2).
-	everFlushed bool
-	// overwrites collects the store records that overwrote unpersisted
-	// bytes; they are reported as dirty overwrites only when the line
-	// is never flushed at all, since rewriting a location several
-	// times before one write-back is ordinary write combining.
-	overwrites []int
-	// flushedSinceStore is true when the line is clean and already
-	// written back: a further flush is redundant.
-	flushedSinceStore bool
-}
-
-// analyzeTrace is the §4.2 trace-analysis phase: one pass, five
-// patterns. It returns raw findings whose stacks are resolved later by
-// the debug-information pass.
-func analyzeTrace(t *trace.Trace, cfg Config) []*report.Finding {
-	var findings []*report.Finding
-	lines := map[uint64]*lineState{}
-	lineOf := func(addr uint64) *lineState {
-		base := addr &^ (pmem.CacheLineSize - 1)
-		st := lines[base]
-		if st == nil {
-			st = &lineState{}
-			lines[base] = st
-		}
-		return st
-	}
-	// Fence bookkeeping: flush instructions and non-temporal stores
-	// since the last fence.
-	flushesSinceFence := 0
-	ntSinceFence := 0
-	var ntPending []int // NT store records awaiting a fence
-
-	add := func(kind report.Kind, rec *trace.Record, detail string) {
-		findings = append(findings, &report.Finding{
-			Kind:   kind,
-			ICount: rec.ICount,
-			Addr:   rec.Addr,
-			Detail: detail,
-		})
-	}
-
+// AnalyzeTrace is the offline front-end of the §4.2 trace analysis: it
+// replays a recorded (or deserialised) trace through the same online
+// Analyzer the streaming pipeline attaches to the instrumented run, so
+// both front-ends share one pattern implementation and produce identical
+// findings. Traces restored with trace.ReadTrace carry no stacks; their
+// findings report stack.NoID until the debug-information pass resolves
+// them.
+func AnalyzeTrace(t *trace.Trace, cfg Config) []*report.Finding {
+	a := NewAnalyzer(cfg)
 	for i := range t.Records {
 		r := &t.Records[i]
-		switch r.Op {
-		case pmem.OpStore, pmem.OpRMW:
-			addr, size := r.Addr, uint64(r.Size)
-			for size > 0 {
-				base := addr &^ (pmem.CacheLineSize - 1)
-				st := lineOf(addr)
-				off := addr - base
-				n := pmem.CacheLineSize - off
-				if n > size {
-					n = size
-				}
-				var mask uint64
-				for b := uint64(0); b < n; b++ {
-					mask |= 1 << (off + b)
-				}
-				if st.dirty&mask != 0 {
-					st.overwrites = append(st.overwrites, i)
-				}
-				st.dirty |= mask
-				st.unflushed = append(st.unflushed, i)
-				st.storesSinceFlush++
-				st.flushedSinceStore = false
-				addr += n
-				size -= n
-			}
-			if r.Op == pmem.OpRMW {
-				// RMW drains buffered flushes but is never itself a
-				// redundant-fence candidate (it synchronises threads,
-				// not persistence).
-				flushesSinceFence = 0
-				ntSinceFence = 0
-				ntPending = ntPending[:0]
-			}
-		case pmem.OpNTStore:
-			ntSinceFence++
-			ntPending = append(ntPending, i)
-		case pmem.OpCLFlush, pmem.OpCLFlushOpt, pmem.OpCLWB:
-			st := lineOf(r.Addr)
-			if cfg.EADR {
-				// The persistence domain includes the caches: every
-				// cache flush is wasted work (§4.3).
-				add(report.RedundantFlush, r, "cache flushes are unnecessary on an eADR system")
-			} else if st.flushedSinceStore {
-				add(report.RedundantFlush, r,
-					"the line was not written since its previous write-back")
-			} else if st.dirty == 0 && st.everFlushed {
-				add(report.RedundantFlush, r, "the line holds no unpersisted data")
-			}
-			if st.storesSinceFlush > 1 {
-				add(report.WarnMultiStoreFlush, r, fmt.Sprintf(
-					"one flush covers %d separate stores; the layout may differ on other platforms",
-					st.storesSinceFlush))
-			}
-			st.dirty = 0
-			st.unflushed = st.unflushed[:0]
-			st.storesSinceFlush = 0
-			st.everFlushed = true
-			st.flushedSinceStore = true
-			if r.Op != pmem.OpCLFlush {
-				flushesSinceFence++
-			}
-		case pmem.OpSFence, pmem.OpMFence:
-			if flushesSinceFence == 0 && ntSinceFence == 0 {
-				add(report.RedundantFence, r,
-					"no flush or non-temporal store since the previous fence")
-			} else if flushesSinceFence+ntSinceFence > 1 {
-				add(report.WarnFenceOrdering, r, fmt.Sprintf(
-					"%d write-backs race to this fence; orderings violating program order were not explored",
-					flushesSinceFence+ntSinceFence))
-			}
-			flushesSinceFence = 0
-			ntSinceFence = 0
-			ntPending = ntPending[:0]
+		ev := pmem.Event{
+			ICount: r.ICount,
+			Op:     r.Op,
+			Addr:   r.Addr,
+			Size:   int(r.Size),
+			Stack:  r.Stack,
 		}
+		a.OnEvent(&ev)
 	}
-
-	// End of trace: stores that were never persisted. Under eADR every
-	// store is durable once visible, so the durability and
-	// transient-data patterns do not apply (§4.3).
-	if cfg.EADR {
-		return findings
-	}
-	reported := map[int]bool{}
-	for _, st := range lines {
-		for _, idx := range st.unflushed {
-			if reported[idx] {
-				continue
-			}
-			reported[idx] = true
-			r := &t.Records[idx]
-			if st.everFlushed {
-				add(report.Durability, r,
-					"store never explicitly persisted although its line is flushed elsewhere in the execution")
-			} else {
-				add(report.WarnTransientData, r,
-					"store to a region that is never flushed; consider volatile memory")
-			}
-		}
-		if !st.everFlushed {
-			for _, idx := range st.overwrites {
-				add(report.DirtyOverwrite, &t.Records[idx],
-					"address written repeatedly and never persisted; the data belongs in volatile memory")
-			}
-		}
-	}
-	for _, idx := range ntPending {
-		if !reported[idx] {
-			reported[idx] = true
-			add(report.Durability, &t.Records[idx],
-				"non-temporal store never fenced; its durability is not guaranteed")
-		}
-	}
-	return findings
+	return a.Finalize()
 }

@@ -82,8 +82,10 @@ func (r *Run) Stop() {
 type Usage struct {
 	// Wall is the total analysis time.
 	Wall time.Duration
-	// CPULoad is busy-time divided by wall time (>= 1 for parallel
-	// tools, ~1 for sequential ones).
+	// CPULoad is busy-time divided by wall time: above 1 for parallel
+	// tools, below 1 for runs that wait (e.g. oracle-bound serial
+	// campaigns). It defaults to 1 only when no busy time was recorded
+	// at all.
 	CPULoad float64
 	// PeakHeapBytes is the peak observed Go heap during the run.
 	PeakHeapBytes uint64
@@ -98,10 +100,9 @@ func (r *Run) Usage() Usage {
 	busy := time.Duration(r.busyNanos.Load())
 	load := 1.0
 	if r.wall > 0 && busy > 0 {
+		// Report the true ratio: clamping sub-1 loads up would hide
+		// genuinely idle (e.g. oracle-bound) runs from Table 2.
 		load = float64(busy) / float64(r.wall)
-		if load < 1 {
-			load = 1
-		}
 	}
 	return Usage{
 		Wall:           r.wall,
@@ -119,4 +120,44 @@ func (u Usage) RAMOverhead(vanillaPeak uint64) float64 {
 		return 1
 	}
 	return float64(u.PeakHeapBytes) / float64(vanillaPeak)
+}
+
+// Online-analyzer state counters. The streaming §4.2 analyzer publishes
+// its peak live-cache-line count and peak resident state bytes here at
+// Finalize; the trace-analysis benches read the process-wide maxima to
+// demonstrate that analyzer state scales with live lines, not trace
+// length.
+var (
+	analyzerPeakLines      atomic.Int64
+	analyzerPeakStateBytes atomic.Uint64
+)
+
+// RecordAnalyzer folds one analyzer's peak state into the process-wide
+// maxima. Safe for concurrent runs.
+func RecordAnalyzer(peakLines int, peakStateBytes uint64) {
+	for {
+		cur := analyzerPeakLines.Load()
+		if int64(peakLines) <= cur || analyzerPeakLines.CompareAndSwap(cur, int64(peakLines)) {
+			break
+		}
+	}
+	for {
+		cur := analyzerPeakStateBytes.Load()
+		if peakStateBytes <= cur || analyzerPeakStateBytes.CompareAndSwap(cur, peakStateBytes) {
+			break
+		}
+	}
+}
+
+// AnalyzerPeaks returns the process-wide analyzer maxima recorded since
+// the last reset: peak live cache lines and peak resident state bytes.
+func AnalyzerPeaks() (lines int, stateBytes uint64) {
+	return int(analyzerPeakLines.Load()), analyzerPeakStateBytes.Load()
+}
+
+// ResetAnalyzerPeaks zeroes the analyzer maxima (benches call it before a
+// measured run).
+func ResetAnalyzerPeaks() {
+	analyzerPeakLines.Store(0)
+	analyzerPeakStateBytes.Store(0)
 }

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// Usage must report the true busy/wall ratio: serial oracle-bound runs
+// sit below 1, parallel campaigns above it. Only a run with no recorded
+// busy time at all defaults to 1.
+func TestCPULoadTrueRatio(t *testing.T) {
+	cases := []struct {
+		name string
+		wall time.Duration
+		busy time.Duration
+		want float64
+	}{
+		{"idle-heavy serial run", time.Second, 250 * time.Millisecond, 0.25},
+		{"fully busy", time.Second, time.Second, 1.0},
+		{"parallel workers", time.Second, 4 * time.Second, 4.0},
+		{"no busy time recorded", time.Second, 0, 1.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &Run{wall: tc.wall}
+			r.busyNanos.Store(int64(tc.busy))
+			if got := r.Usage().CPULoad; got != tc.want {
+				t.Fatalf("CPULoad = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStartStopCollects(t *testing.T) {
+	r := Start()
+	r.AddBusy(5 * time.Millisecond)
+	r.AddPM(4096)
+	r.Stop()
+	r.Stop() // idempotent
+	u := r.Usage()
+	if u.Wall <= 0 {
+		t.Fatalf("wall = %v", u.Wall)
+	}
+	if u.PMExtraBytes != 4096 {
+		t.Fatalf("PMExtraBytes = %d", u.PMExtraBytes)
+	}
+	if u.PeakHeapBytes == 0 {
+		t.Fatal("no heap peak sampled")
+	}
+	if u.CPULoad <= 0 {
+		t.Fatalf("CPULoad = %v", u.CPULoad)
+	}
+}
+
+func TestRAMOverhead(t *testing.T) {
+	u := Usage{PeakHeapBytes: 300}
+	if got := u.RAMOverhead(100); got != 3 {
+		t.Fatalf("RAMOverhead = %v, want 3", got)
+	}
+	if got := u.RAMOverhead(0); got != 1 {
+		t.Fatalf("RAMOverhead with zero vanilla peak = %v, want 1", got)
+	}
+}
+
+// The analyzer gauges keep process-wide maxima across runs until reset.
+func TestAnalyzerPeaks(t *testing.T) {
+	ResetAnalyzerPeaks()
+	RecordAnalyzer(10, 1000)
+	RecordAnalyzer(5, 2000) // fewer lines but more bytes: both maxima independent
+	lines, stateBytes := AnalyzerPeaks()
+	if lines != 10 || stateBytes != 2000 {
+		t.Fatalf("peaks = (%d, %d), want (10, 2000)", lines, stateBytes)
+	}
+	RecordAnalyzer(3, 500) // below both maxima: no change
+	if lines, stateBytes = AnalyzerPeaks(); lines != 10 || stateBytes != 2000 {
+		t.Fatalf("peaks regressed to (%d, %d)", lines, stateBytes)
+	}
+	ResetAnalyzerPeaks()
+	if lines, stateBytes = AnalyzerPeaks(); lines != 0 || stateBytes != 0 {
+		t.Fatalf("reset left (%d, %d)", lines, stateBytes)
+	}
+}
+
+func TestRecordAnalyzerConcurrent(t *testing.T) {
+	ResetAnalyzerPeaks()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				RecordAnalyzer(g*1000+i, uint64(g*1000+i))
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	lines, stateBytes := AnalyzerPeaks()
+	if lines != 7999 || stateBytes != 7999 {
+		t.Fatalf("concurrent peaks = (%d, %d), want (7999, 7999)", lines, stateBytes)
+	}
+}

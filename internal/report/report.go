@@ -46,17 +46,24 @@ const (
 	// WarnFenceOrdering: a fence acting on more than one write-back,
 	// whose non-program-order persist interleavings were not explored.
 	WarnFenceOrdering
+	// WarnRedundantNTFlush: a flush of a line whose only writes were
+	// non-temporal — NT stores bypass the cache, so the flush has
+	// nothing cached to write back. Advisory rather than a bug because
+	// persisting a range over freshly NT-zeroed blocks is a common and
+	// harmless library idiom (e.g. pmem_persist after pmem_memset).
+	WarnRedundantNTFlush
 )
 
 var kindNames = [...]string{
-	CrashConsistency:    "crash-consistency bug",
-	Durability:          "durability bug",
-	DirtyOverwrite:      "dirty overwrite",
-	RedundantFlush:      "redundant flush",
-	RedundantFence:      "redundant fence",
-	WarnTransientData:   "warning: possible transient data in PM",
-	WarnMultiStoreFlush: "warning: flush covers multiple stores",
-	WarnFenceOrdering:   "warning: unexplored persist orderings behind fence",
+	CrashConsistency:     "crash-consistency bug",
+	Durability:           "durability bug",
+	DirtyOverwrite:       "dirty overwrite",
+	RedundantFlush:       "redundant flush",
+	RedundantFence:       "redundant fence",
+	WarnTransientData:    "warning: possible transient data in PM",
+	WarnMultiStoreFlush:  "warning: flush covers multiple stores",
+	WarnFenceOrdering:    "warning: unexplored persist orderings behind fence",
+	WarnRedundantNTFlush: "warning: flush of a line written only non-temporally",
 }
 
 // String names the kind.
@@ -75,7 +82,7 @@ func (k Kind) Class() taxonomy.Class {
 	switch k {
 	case Durability, DirtyOverwrite:
 		return taxonomy.Durability
-	case RedundantFlush, WarnMultiStoreFlush:
+	case RedundantFlush, WarnMultiStoreFlush, WarnRedundantNTFlush:
 		return taxonomy.RedundantFlush
 	case RedundantFence:
 		return taxonomy.RedundantFence
@@ -264,6 +271,8 @@ func (f Finding) Suggest() string {
 		return "keep the single flush but assert the stores share a cache line across target platforms"
 	case WarnFenceOrdering:
 		return "if recovery depends on the order of these write-backs, fence between them"
+	case WarnRedundantNTFlush:
+		return "drop the flush: non-temporal stores bypass the cache, only the fence is needed"
 	default:
 		return "make the updates between the failure point and the recovery invariant failure-atomic (undo/redo logging or an atomic publication pointer)"
 	}

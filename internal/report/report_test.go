@@ -15,14 +15,15 @@ func TestKindClassification(t *testing.T) {
 		warning bool
 		class   taxonomy.Class
 	}{
-		CrashConsistency:    {false, taxonomy.Atomicity},
-		Durability:          {false, taxonomy.Durability},
-		DirtyOverwrite:      {false, taxonomy.Durability},
-		RedundantFlush:      {false, taxonomy.RedundantFlush},
-		RedundantFence:      {false, taxonomy.RedundantFence},
-		WarnTransientData:   {true, taxonomy.TransientData},
-		WarnMultiStoreFlush: {true, taxonomy.RedundantFlush},
-		WarnFenceOrdering:   {true, taxonomy.Ordering},
+		CrashConsistency:     {false, taxonomy.Atomicity},
+		Durability:           {false, taxonomy.Durability},
+		DirtyOverwrite:       {false, taxonomy.Durability},
+		RedundantFlush:       {false, taxonomy.RedundantFlush},
+		RedundantFence:       {false, taxonomy.RedundantFence},
+		WarnTransientData:    {true, taxonomy.TransientData},
+		WarnMultiStoreFlush:  {true, taxonomy.RedundantFlush},
+		WarnFenceOrdering:    {true, taxonomy.Ordering},
+		WarnRedundantNTFlush: {true, taxonomy.RedundantFlush},
 	}
 	for k, want := range cases {
 		if k.IsWarning() != want.warning {
@@ -83,7 +84,7 @@ func TestPropertyUniqueIdempotent(t *testing.T) {
 			if i < len(addrs) {
 				addr = uint64(addrs[i])
 			}
-			r.Add(Finding{Kind: Kind(kinds[i] % 8), Addr: addr, Stack: stack.NoID})
+			r.Add(Finding{Kind: Kind(kinds[i] % 9), Addr: addr, Stack: stack.NoID})
 		}
 		u1 := r.Unique()
 		r2 := &Report{Findings: u1}

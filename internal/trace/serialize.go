@@ -49,6 +49,15 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	t := &Trace{Anns: wt.Anns, payload: wt.Payload}
 	t.Records = make([]Record, len(wt.Records))
 	for i, wr := range wt.Records {
+		// A corrupted stream can carry a negative size or payload
+		// offset that passes the upper-bound check and later panics in
+		// Trace.Payload on a reversed slice; reject it here instead.
+		if wr.Size < 0 {
+			return nil, fmt.Errorf("trace: record %d has negative size %d", i, wr.Size)
+		}
+		if wr.Data < -1 {
+			return nil, fmt.Errorf("trace: record %d has invalid payload offset %d", i, wr.Data)
+		}
 		if wr.Data >= 0 && wr.Data+int64(wr.Size) > int64(len(wt.Payload)) {
 			return nil, fmt.Errorf("trace: record %d payload out of range", i)
 		}

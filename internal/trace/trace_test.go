@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -299,5 +300,47 @@ func TestTraceSerializeRoundTrip(t *testing.T) {
 func TestReadTraceRejectsGarbage(t *testing.T) {
 	if _, err := ReadTrace(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// A corrupted stream can carry records whose negative size or payload
+// offset passes the upper-bound check (negative + size stays below the
+// payload length) and then panics in Trace.Payload on a reversed slice;
+// ReadTrace must reject such records with an error instead.
+func TestReadTraceRejectsCorruptRecords(t *testing.T) {
+	encode := func(wt wireTrace) *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&wt); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	cases := []struct {
+		name string
+		rec  wireRecord
+	}{
+		{"negative size", wireRecord{Op: uint8(pmem.OpStore), Size: -8, Data: 4}},
+		{"negative payload offset", wireRecord{Op: uint8(pmem.OpStore), Size: 8, Data: -3}},
+		{"payload past the end", wireRecord{Op: uint8(pmem.OpStore), Size: 8, Data: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := encode(wireTrace{Records: []wireRecord{tc.rec}, Payload: make([]byte, 8)})
+			tr, err := ReadTrace(buf)
+			if err == nil {
+				// The decode must fail; at minimum it must not panic
+				// later when the payload is accessed.
+				t.Fatalf("corrupt record accepted: %+v", tr.Records[0])
+			}
+		})
+	}
+	// The well-formed sentinel value -1 ("no payload") stays accepted.
+	buf := encode(wireTrace{Records: []wireRecord{{Op: uint8(pmem.OpSFence), Data: -1}}})
+	tr, err := ReadTrace(buf)
+	if err != nil {
+		t.Fatalf("payload-free record rejected: %v", err)
+	}
+	if got := tr.Payload(&tr.Records[0]); got != nil {
+		t.Fatalf("payload of a payload-free record = %v", got)
 	}
 }
