@@ -1,0 +1,142 @@
+// Package misbehave provides deliberately broken fixture targets for
+// exercising the campaign sandbox: a target whose Run panics, one whose
+// Run never terminates, and one whose recovery procedure loops forever.
+//
+// The fixtures live in their own registry rather than the main
+// internal/apps one on purpose: the apps registry is the paper's §6
+// target set, and its tests assert the exact list, KV semantics and
+// clean-target properties that misbehaving fixtures would violate.
+// cmd/mumak consults this registry as a fallback after the main one.
+package misbehave
+
+import (
+	"errors"
+	"sort"
+
+	"mumak/internal/harness"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// Mode selects the seeded misbehaviour.
+type Mode uint8
+
+// Misbehaviour modes.
+const (
+	// Clean performs the fixed writes and terminates; it is the control
+	// fixture (the sandbox must not change its report).
+	Clean Mode = iota
+	// PanicRun panics halfway through Run with a foreign (non-signal)
+	// panic value.
+	PanicRun
+	// HangRun enters an infinite PM-read loop halfway through Run,
+	// burning fuel until the hang watchdog terminates the execution.
+	HangRun
+	// HangRecovery makes Recover loop over PM forever, so every
+	// recovery-oracle invocation hangs.
+	HangRecovery
+)
+
+const (
+	poolSize = 1 << 16
+	// magic marks a set-up pool; Recover rejects a pool without it.
+	magic = 0x6d69736265686176 // "misbehav"
+	// rounds is the number of fixed persisted writes Run performs; the
+	// misbehaviour fires before round misbehaveRound, leaving the
+	// earlier rounds as ordinary failure points for the campaign.
+	rounds         = 12
+	misbehaveRound = 6
+)
+
+// App is one misbehaving fixture target.
+type App struct {
+	name string
+	mode Mode
+}
+
+// Name implements harness.Application.
+func (a *App) Name() string { return a.name }
+
+// PoolSize implements harness.Application.
+func (a *App) PoolSize() int { return poolSize }
+
+// Setup implements harness.Application: it persists the pool magic.
+func (a *App) Setup(e *pmem.Engine) error {
+	e.Store64(0, magic)
+	e.CLWB(0)
+	e.SFence()
+	return nil
+}
+
+// Run implements harness.Application. The workload is ignored: a fixed,
+// deterministic sequence of persisted stores keeps the failure point
+// tree identical across runs, which the counter-mode replays rely on.
+func (a *App) Run(e *pmem.Engine, _ workload.Workload) error {
+	for i := 1; i <= rounds; i++ {
+		if i == misbehaveRound {
+			switch a.mode {
+			case PanicRun:
+				panic("misbehave: seeded target panic in Run")
+			case HangRun:
+				for {
+					e.Load64(8)
+				}
+			}
+		}
+		addr := uint64(64 * i)
+		e.Store64(addr, uint64(i))
+		e.CLWB(addr)
+		e.SFence()
+	}
+	return nil
+}
+
+// Recover implements harness.Application.
+func (a *App) Recover(e *pmem.Engine) error {
+	if e.Load64(0) != magic {
+		return errors.New("misbehave: pool magic missing")
+	}
+	if a.mode == HangRecovery {
+		for {
+			e.Load64(8)
+		}
+	}
+	return nil
+}
+
+// NewMode builds a fixture with the given mode and a registry-consistent
+// name (tests that want a mode directly use this).
+func NewMode(mode Mode) *App {
+	for name, m := range registry {
+		if m == mode {
+			return &App{name: name, mode: mode}
+		}
+	}
+	return &App{name: "misbehave", mode: mode}
+}
+
+var registry = map[string]Mode{
+	"misbehave-clean":         Clean,
+	"misbehave-run-panic":     PanicRun,
+	"misbehave-run-hang":      HangRun,
+	"misbehave-recovery-hang": HangRecovery,
+}
+
+// New resolves a fixture by registry name, reporting whether it exists.
+func New(name string) (harness.Application, bool) {
+	mode, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return &App{name: name, mode: mode}, true
+}
+
+// Names lists the fixture names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -24,10 +24,26 @@ import (
 
 	"mumak/internal/fpt"
 	"mumak/internal/harness"
+	"mumak/internal/metrics"
 	"mumak/internal/pmem"
 	"mumak/internal/report"
 	"mumak/internal/stack"
 	"mumak/internal/workload"
+)
+
+// Campaign sandbox defaults; Config.HangBudget and
+// Config.RecoveryTimeout override them.
+const (
+	// DefaultHangBudget is the fuel budget of one target execution: the
+	// number of PM instruction events after which the engine's watchdog
+	// terminates the run as a suspected hang. It is deterministic (a
+	// replay trips at the same event regardless of machine speed) and
+	// far above any realistic single-execution event count.
+	DefaultHangBudget uint64 = 1 << 28
+	// DefaultRecoveryTimeout is the wall-clock watchdog on one
+	// recovery-oracle invocation, catching recovery hangs that never
+	// touch PM (and therefore never burn fuel).
+	DefaultRecoveryTimeout = 30 * time.Second
 )
 
 // Config tunes the analysis.
@@ -63,6 +79,19 @@ type Config struct {
 	// trace-analysis patterns flip: unflushed stores are fine, and
 	// every cache flush is a performance bug.
 	EADR bool
+	// HangBudget overrides DefaultHangBudget: the per-execution PM
+	// event fuel budget after which a run is terminated as a suspected
+	// hang (0 = default).
+	HangBudget uint64
+	// RecoveryTimeout overrides DefaultRecoveryTimeout: the wall-clock
+	// watchdog on each recovery-oracle invocation (0 = default). The
+	// campaign deadline caps it further when less budget remains.
+	RecoveryTimeout time.Duration
+	// unsandboxed restores the pre-sandbox execution path — target
+	// panics propagate and no watchdogs run. It exists only so
+	// package-internal differential tests can prove the sandbox leaves
+	// clean-target reports byte-identical.
+	unsandboxed bool
 }
 
 // Result is the outcome of one analysis.
@@ -90,6 +119,21 @@ type Result struct {
 	// and aborted campaigns (capped; SkippedFailurePoints is the full
 	// count).
 	InjectionErrors []string
+	// RetriedFailurePoints counts the extra replay attempts spent on
+	// counter-mode leaves whose first replay was consumed by a
+	// transient skip (errored replay, counter never reached).
+	RetriedFailurePoints int
+	// TargetPanics counts executions the sandbox stopped because the
+	// target's own code panicked; each produced a TargetCrash finding.
+	TargetPanics int
+	// TargetHangs counts executions the hang watchdog terminated after
+	// the fuel budget was exhausted; each produced a TargetCrash
+	// finding.
+	TargetHangs int
+	// RecoveryHangs counts recovery-oracle invocations the watchdog
+	// classified as non-terminating; each produced a RecoveryHang
+	// finding.
+	RecoveryHangs int
 	// AnalyzerPeakLines is the online analyzer's peak number of
 	// simultaneously tracked cache lines (zero when trace analysis was
 	// disabled).
@@ -151,16 +195,45 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 		analyzer = NewAnalyzer(cfg)
 		hooks = append(hooks, analyzer)
 	}
+	sb := cfg.sandbox(deadline)
 	t0 := time.Now()
-	eng, sig, err := harness.Execute(app, w,
-		pmem.Options{Capture: capture, Stacks: stacks, EADR: cfg.EADR}, hooks...)
-	if err != nil {
-		return nil, fmt.Errorf("instrumented run: %w", err)
+	opts := pmem.Options{Capture: capture, Stacks: stacks, EADR: cfg.EADR}
+	if !sb.disabled {
+		opts.MaxEvents = sb.budget
+		opts.Deadline = sb.deadline
 	}
-	if sig != nil {
-		return nil, fmt.Errorf("instrumented run crashed unexpectedly: %v", sig)
-	}
+	eng, sout := execute(app, w, opts, sb, hooks...)
 	res.EngineEvents += eng.Events()
+	switch {
+	case sout.Err != nil:
+		return nil, fmt.Errorf("instrumented run: %w", sout.Err)
+	case sout.Sig != nil:
+		return nil, fmt.Errorf("instrumented run crashed unexpectedly: %v", sout.Sig)
+	case sout.Panic != nil:
+		// The target itself is broken. Report the crash as a finding
+		// and continue the pipeline over the partial failure point tree
+		// and trace: the bugs found up to the panic are still bugs.
+		res.TargetPanics++
+		rep.Add(report.Finding{
+			Kind:   report.TargetCrash,
+			ICount: eng.ICount(),
+			Stack:  stack.NoID,
+			Detail: panicDetail("the instrumented run", sout.Panic),
+		})
+	case sout.Hang != nil:
+		if sout.Hang.Deadline {
+			// The campaign deadline, not target behaviour, cut the run.
+			res.TimedOut = true
+		} else {
+			res.TargetHangs++
+			rep.Add(report.Finding{
+				Kind:   report.TargetCrash,
+				ICount: eng.ICount(),
+				Stack:  stack.NoID,
+				Detail: hangDetail("the instrumented run", sout.Hang),
+			})
+		}
+	}
 	res.InstrumentTime = time.Since(t0)
 	res.Tree = tree
 	if analyzer != nil {
@@ -181,7 +254,7 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 	if analyzer != nil {
 		t0 = time.Now()
 		findings := analyzer.Finalize()
-		resolveStacks(app, w, capture, stacks, findings)
+		resolveStacks(app, w, capture, stacks, findings, sb)
 		for _, f := range findings {
 			if f.Kind.IsWarning() && !cfg.KeepWarnings {
 				continue
@@ -193,6 +266,7 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 		res.AnalysisTime = time.Since(t0)
 	}
 
+	metrics.RecordSandbox(res.TargetPanics, res.TargetHangs, res.RecoveryHangs)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -14,7 +14,7 @@ import (
 // flagged counters. The pass relies on the target's determinism, like
 // the counter-mode injector.
 func resolveStacks(app harness.Application, w workload.Workload,
-	capture pmem.StackCapture, stacks *stack.Table, findings []*report.Finding) {
+	capture pmem.StackCapture, stacks *stack.Table, findings []*report.Finding, sb sandboxCfg) {
 
 	if len(findings) == 0 {
 		return
@@ -25,8 +25,16 @@ func resolveStacks(app harness.Application, w workload.Workload,
 		wanted[f.ICount] = append(wanted[f.ICount], f)
 	}
 	hook := &stackResolver{wanted: wanted, stacks: stacks}
-	// Errors here only degrade debug info; findings stay valid.
-	_, _, _ = harness.Execute(app, w, pmem.Options{}, hook)
+	// The pass re-executes the target, so it runs under the same sandbox
+	// as every other execution: a panicking or hanging target must not
+	// take the finished analysis down with it. Failures here only
+	// degrade debug info; findings stay valid.
+	opts := pmem.Options{}
+	if !sb.disabled {
+		opts.MaxEvents = sb.budget
+		opts.Deadline = sb.deadline
+	}
+	_, _ = execute(app, w, opts, sb, hook)
 }
 
 type stackResolver struct {

@@ -26,6 +26,112 @@ const maxNoProgress = 3
 // Result.InjectionErrors; SkippedFailurePoints keeps the honest total.
 const maxInjectionErrors = 8
 
+// maxLeafRetries bounds the re-replays of a counter-mode leaf consumed
+// with a transient skip (an errored replay, or a counter never reached),
+// mirroring stack mode's maxNoProgress tolerance instead of giving up on
+// the first hiccup. Deterministic targets converge to the same skip, so
+// the bound costs at most two extra replays per genuinely dead leaf.
+const maxLeafRetries = 2
+
+// retryBackoff is the base pause between leaf retries; attempt k waits
+// k×retryBackoff, giving a transient condition a moment to clear without
+// slowing a deterministic failure down meaningfully.
+const retryBackoff = time.Millisecond
+
+// replayFuelSlack is the extra fuel granted to a counter-mode replay
+// past the leaf's recorded instruction counter. A deterministic replay
+// crashes at exactly FirstICount events, so anything beyond a small
+// slack means the run diverged into unbounded PM activity.
+const replayFuelSlack = 4096
+
+// sandboxCfg carries the per-execution watchdog bounds of one campaign:
+// the deterministic fuel budget, the recovery wall-clock timeout, and
+// the campaign deadline (honoured mid-replay through the engine's
+// wall-clock watchdog, not just between replays).
+type sandboxCfg struct {
+	budget   uint64
+	timeout  time.Duration
+	deadline time.Time
+	// disabled restores the pre-sandbox execution path (panics
+	// propagate, no watchdogs); reachable only from package-internal
+	// differential tests proving the sandbox does not perturb reports.
+	disabled bool
+}
+
+// sandbox derives the campaign watchdog bounds from the configuration.
+func (cfg Config) sandbox(deadline time.Time) sandboxCfg {
+	sb := sandboxCfg{
+		budget:   cfg.HangBudget,
+		timeout:  cfg.RecoveryTimeout,
+		deadline: deadline,
+		disabled: cfg.unsandboxed,
+	}
+	if sb.budget == 0 {
+		sb.budget = DefaultHangBudget
+	}
+	if sb.timeout == 0 {
+		sb.timeout = DefaultRecoveryTimeout
+	}
+	return sb
+}
+
+// execute runs one target execution under the campaign sandbox, or the
+// strict pre-sandbox path when differential testing disabled it. The
+// caller fills the watchdog fields of opts.
+func execute(app harness.Application, w workload.Workload, opts pmem.Options,
+	sb sandboxCfg, hooks ...pmem.Hook) (*pmem.Engine, harness.Outcome) {
+
+	if sb.disabled {
+		eng, sig, err := harness.Execute(app, w, opts, hooks...)
+		return eng, harness.Outcome{Sig: sig, Err: err}
+	}
+	return harness.ExecuteSandboxed(app, w, opts, hooks...)
+}
+
+// boundedCheck runs the recovery oracle under the campaign watchdog. The
+// second return reports that the campaign deadline — not the target's
+// behaviour — cut the check short: such an outcome must become a budget
+// expiry, never a finding.
+func boundedCheck(app harness.Application, img *pmem.Image, sb sandboxCfg) (oracle.Outcome, bool) {
+	if sb.disabled {
+		return oracle.Check(app, img), false
+	}
+	wd := oracle.Watchdog{MaxEvents: sb.budget, Timeout: sb.timeout}
+	capped := false
+	if !sb.deadline.IsZero() {
+		rem := time.Until(sb.deadline)
+		if rem <= 0 {
+			return oracle.Outcome{}, true
+		}
+		if rem < wd.Timeout {
+			wd.Timeout = rem
+			capped = true
+		}
+	}
+	out := oracle.CheckBounded(app, img, wd)
+	if out.Verdict == oracle.Hung && capped && (out.Hang == nil || out.Hang.Deadline) {
+		// The wall clock fired while capped to the campaign's remaining
+		// budget: attribute the stop to the budget. Only a fuel trip is
+		// unambiguous target behaviour under a capped timeout.
+		return out, true
+	}
+	return out, false
+}
+
+// panicDetail renders a sandbox-captured target panic for a finding.
+func panicDetail(during string, p *harness.PanicInfo) string {
+	return fmt.Sprintf("target panicked during %s: %v\ntarget trace:\n%s",
+		during, p.Value, truncate(p.Trace, 800))
+}
+
+// hangDetail renders a fuel-budget kill for a finding. It mentions only
+// the configured budget, never measured time, so reports stay
+// deterministic.
+func hangDetail(during string, h *pmem.HangSignal) string {
+	return fmt.Sprintf("target terminated by the hang watchdog during %s: budget of %d PM events exhausted (possible non-termination or runaway PM allocation)",
+		during, h.Budget)
+}
+
 // injectAll visits every unvisited leaf of the failure point tree,
 // injecting one fault per unique failure point (steps 7-9 of Fig 1),
 // and reports every crash state the recovery oracle rejects. It returns
@@ -39,17 +145,22 @@ const maxInjectionErrors = 8
 // it re-matches call stacks, which needs stack capture on every replay
 // but tolerates non-determinism; the stack-mode injector mutates the
 // shared tree, so that campaign always runs serially.
+//
+// Every replay and recovery runs inside the sandbox: a foreign panic or
+// a watchdog kill becomes a TargetCrash or RecoveryHang finding instead
+// of crashing or stalling the tool.
 func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
 
+	sb := cfg.sandbox(deadline)
 	if cfg.StackMode {
-		return injectStackSerial(app, w, tree, cfg, rep, res, deadline)
+		return injectStackSerial(app, w, tree, cfg, rep, res, sb)
 	}
 	leaves := tree.Unvisited()
 	if cfg.Workers > 1 && len(leaves) > 1 {
-		return injectCounterParallel(app, w, leaves, tree.Stacks(), cfg, rep, res, deadline)
+		return injectCounterParallel(app, w, leaves, tree.Stacks(), cfg, rep, res, sb)
 	}
-	return injectCounterSerial(app, w, leaves, tree.Stacks(), cfg, rep, res, deadline)
+	return injectCounterSerial(app, w, leaves, tree.Stacks(), cfg, rep, res, sb)
 }
 
 // counterOutcome is the result of replaying one counter-mode leaf on a
@@ -59,8 +170,16 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 type counterOutcome struct {
 	// executed is false when the replay never ran (deadline expired).
 	executed bool
-	// events is the number of engine instruction events of the replay.
+	// deadlineHit reports that the campaign deadline cut the replay or
+	// its recovery mid-flight; the leaf is left unconsumed and the
+	// campaign stops, exactly as if the deadline had expired between
+	// replays.
+	deadlineHit bool
+	// events is the number of engine instruction events of the replay
+	// (all attempts).
 	events uint64
+	// retries counts extra replay attempts after transient skips.
+	retries int
 	// injected reports that the replay reached the target counter and
 	// crashed there.
 	injected bool
@@ -69,9 +188,33 @@ type counterOutcome struct {
 	// skipReason is non-empty when the leaf was consumed without an
 	// injection: the replay errored or never reached the counter.
 	skipReason string
-	// finding is the crash-consistency finding, if the oracle rejected
-	// the post-failure state.
+	// targetPanic and targetHang mark replays the sandbox stopped: the
+	// target's own code panicked, or the fuel budget expired. The leaf
+	// is consumed without an injection and finding reports the
+	// behaviour.
+	targetPanic bool
+	targetHang  bool
+	// recoveryHung marks an injected replay whose recovery the
+	// watchdog classified as non-terminating.
+	recoveryHung bool
+	// finding is the resulting finding, if any: a crash-consistency
+	// bug, a target crash, or a recovery hang.
 	finding *report.Finding
+}
+
+// replayFuel bounds one counter-mode replay. The replay crashes at
+// exactly leaf.FirstICount events when the target is deterministic, so
+// the slack-padded counter is a far tighter (and still deterministic)
+// budget than the campaign-wide one.
+func replayFuel(budget, firstICount uint64) uint64 {
+	fuel := firstICount + replayFuelSlack
+	if fuel < firstICount { // overflow
+		return budget
+	}
+	if budget != 0 && budget < fuel {
+		return budget
+	}
+	return fuel
 }
 
 // replayLeaf runs one counter-mode fault injection: a fresh execution
@@ -80,43 +223,100 @@ type counterOutcome struct {
 // safe to call concurrently for different leaves: the engine, the crash
 // image and the oracle's recovery engine are all private to the call.
 func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
-	stacks *stack.Table) counterOutcome {
+	stacks *stack.Table, sb sandboxCfg) counterOutcome {
 
 	out := counterOutcome{executed: true}
 	// Counter mode needs no hook at all: the engine crashes itself at
 	// the recorded counter (§5's minimal instrumentation).
 	opts := pmem.Options{Capture: pmem.CaptureNone, Stacks: stacks, CrashAt: leaf.FirstICount}
-	eng, sig, err := harness.Execute(app, w, opts)
+	if !sb.disabled {
+		opts.MaxEvents = replayFuel(sb.budget, leaf.FirstICount)
+		opts.Deadline = sb.deadline
+	}
+	eng, sres := execute(app, w, opts, sb)
 	out.events = eng.Events()
-	if err != nil {
+	switch {
+	case sres.Err != nil:
 		// The workload failed before the failure point — the run
 		// diverged (should not happen with deterministic targets).
-		out.skipReason = fmt.Sprintf("replay failed before the failure point: %v", err)
+		out.skipReason = fmt.Sprintf("replay failed before the failure point: %v", sres.Err)
 		return out
-	}
-	if sig == nil {
+	case sres.Panic != nil:
+		out.targetPanic = true
+		out.finding = &report.Finding{
+			Kind:   report.TargetCrash,
+			ICount: eng.ICount(),
+			Stack:  leaf.Stack,
+			Detail: panicDetail("a counter-mode replay", sres.Panic),
+		}
+		return out
+	case sres.Hang != nil:
+		if sres.Hang.Deadline {
+			out.deadlineHit = true
+			return out
+		}
+		out.targetHang = true
+		out.finding = &report.Finding{
+			Kind:   report.TargetCrash,
+			ICount: eng.ICount(),
+			Stack:  leaf.Stack,
+			Detail: hangDetail("a counter-mode replay", sres.Hang),
+		}
+		return out
+	case sres.Sig == nil:
 		out.skipReason = "target instruction counter never reached on replay"
 		return out
 	}
 	out.injected = true
 
 	// Materialise the graceful-crash image and run the vanilla,
-	// uninstrumented recovery procedure on it (§4.1).
+	// uninstrumented recovery procedure on it (§4.1), bounded by the
+	// hang watchdog.
 	img := eng.PrefixImage()
-	check := oracle.Check(app, img)
+	check, ddl := boundedCheck(app, img, sb)
+	if ddl {
+		out.deadlineHit = true
+		return out
+	}
 	out.recovered = true
 	if !check.Consistent() {
+		kind := report.CrashConsistency
+		if check.Verdict == oracle.Hung {
+			kind = report.RecoveryHang
+			out.recoveryHung = true
+		}
 		detail := check.Describe()
 		if check.Verdict == oracle.Crashed && check.PanicTrace != "" {
 			// Provide the recovery call trace for abrupt failures.
 			detail += "\nrecovery trace:\n" + truncate(check.PanicTrace, 800)
 		}
 		out.finding = &report.Finding{
-			Kind:   report.CrashConsistency,
-			ICount: sig.ICount,
+			Kind:   kind,
+			ICount: sres.Sig.ICount,
 			Stack:  leaf.Stack,
 			Detail: detail,
 		}
+	}
+	return out
+}
+
+// replayLeafWithRetry replays a leaf, retrying a bounded number of times
+// (with a small backoff) when the replay is consumed by a transient
+// skip. Panics, hangs and deadline cuts are never retried: the first is
+// already a finding, the others would only burn the remaining budget.
+func replayLeafWithRetry(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
+	stacks *stack.Table, sb sandboxCfg) counterOutcome {
+
+	out := replayLeaf(app, w, leaf, stacks, sb)
+	for attempt := 1; attempt <= maxLeafRetries && out.skipReason != ""; attempt++ {
+		if !sb.deadline.IsZero() && !time.Now().Before(sb.deadline) {
+			break
+		}
+		time.Sleep(time.Duration(attempt) * retryBackoff)
+		next := replayLeaf(app, w, leaf, stacks, sb)
+		next.events += out.events
+		next.retries = out.retries + 1
+		out = next
 	}
 	return out
 }
@@ -128,15 +328,32 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 func consumeOutcome(leaf *fpt.Leaf, out counterOutcome, rep *report.Report, res *Result) {
 	leaf.Visited = true
 	res.EngineEvents += out.events
+	res.RetriedFailurePoints += out.retries
 	if out.skipReason != "" {
 		res.SkippedFailurePoints++
 		res.addInjectionError(fmt.Sprintf("failure point #%d (instruction %d): %s",
 			leaf.ID, leaf.FirstICount, out.skipReason))
 		return
 	}
+	if out.targetPanic || out.targetHang {
+		// The sandbox stopped the replay before the failure point: the
+		// leaf is consumed without an injection, and the behaviour is a
+		// finding rather than an error sample.
+		if out.targetPanic {
+			res.TargetPanics++
+		} else {
+			res.TargetHangs++
+		}
+		res.SkippedFailurePoints++
+		rep.Add(*out.finding)
+		return
+	}
 	res.Injections++
 	if out.recovered {
 		res.Recoveries++
+	}
+	if out.recoveryHung {
+		res.RecoveryHangs++
 	}
 	if out.finding != nil {
 		rep.Add(*out.finding)
@@ -145,19 +362,24 @@ func consumeOutcome(leaf *fpt.Leaf, out counterOutcome, rep *report.Report, res 
 
 // injectCounterSerial replays the leaves one at a time in FirstICount
 // order. It is the Workers<=1 path and the reference order the parallel
-// campaign reproduces.
+// campaign reproduces. The campaign deadline is honoured mid-replay: the
+// replay engine carries it as a wall-clock watchdog, so a single long
+// replay can no longer overshoot the budget arbitrarily.
 func injectCounterSerial(app harness.Application, w workload.Workload, leaves []*fpt.Leaf,
-	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
+	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, sb sandboxCfg) (timedOut bool) {
 
 	injected := 0
 	for _, leaf := range leaves {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if !sb.deadline.IsZero() && time.Now().After(sb.deadline) {
 			return true
 		}
 		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
 			return false
 		}
-		out := replayLeaf(app, w, leaf, stacks)
+		out := replayLeafWithRetry(app, w, leaf, stacks, sb)
+		if out.deadlineHit {
+			return true
+		}
 		consumeOutcome(leaf, out, rep, res)
 		if out.injected {
 			injected++
@@ -170,9 +392,10 @@ func injectCounterSerial(app harness.Application, w workload.Workload, leaves []
 // the workload with an injector hook that crashes at the first unvisited
 // failure point whose call stack it re-encounters. The injector mutates
 // the shared tree (marking leaves visited), so this campaign cannot fan
-// out.
+// out. Replays run inside the sandbox with the campaign watchdogs, like
+// counter mode.
 func injectStackSerial(app harness.Application, w workload.Workload, tree *fpt.Tree,
-	cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
+	cfg Config, rep *report.Report, res *Result, sb sandboxCfg) (timedOut bool) {
 
 	stacks := tree.Stacks()
 	capture := pmem.CapturePersistency
@@ -181,54 +404,103 @@ func injectStackSerial(app harness.Application, w workload.Workload, tree *fpt.T
 	}
 	injected := 0
 	noProgress := 0
+	// noProgressRetry bounds an unproductive iteration, aborting the
+	// campaign once the tolerance is exhausted.
+	noProgressRetry := func(format string, args ...any) (abort bool) {
+		noProgress++
+		res.addInjectionError(fmt.Sprintf(format, args...))
+		if noProgress >= maxNoProgress {
+			res.InjectionAborted = true
+			return true
+		}
+		return false
+	}
 	for {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if !sb.deadline.IsZero() && time.Now().After(sb.deadline) {
 			return true
 		}
 		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
 			return false
 		}
 		inj := &fpt.Injector{Tree: tree, StackMode: true, Granularity: cfg.Granularity}
-		eng, sig, err := harness.Execute(app, w,
-			pmem.Options{Capture: capture, Stacks: stacks}, inj)
+		opts := pmem.Options{Capture: capture, Stacks: stacks}
+		if !sb.disabled {
+			opts.MaxEvents = sb.budget
+			opts.Deadline = sb.deadline
+		}
+		eng, sres := execute(app, w, opts, sb, inj)
 		res.EngineEvents += eng.Events()
-		if err != nil {
+		switch {
+		case sres.Err != nil:
 			// The workload failed before any unvisited failure point
 			// fired: no leaf was consumed, so retrying the identical
 			// deterministic run would loop forever. Bound the retries
 			// and surface the abort instead.
-			noProgress++
-			res.addInjectionError(fmt.Sprintf(
-				"stack-mode replay made no progress (attempt %d/%d): %v",
-				noProgress, maxNoProgress, err))
-			if noProgress >= maxNoProgress {
-				res.InjectionAborted = true
+			if noProgressRetry("stack-mode replay made no progress (attempt %d/%d): %v",
+				noProgress+1, maxNoProgress, sres.Err) {
 				return false
 			}
 			continue
-		}
-		noProgress = 0
-		if sig == nil {
+		case sres.Panic != nil:
+			res.TargetPanics++
+			rep.Add(report.Finding{
+				Kind:   report.TargetCrash,
+				ICount: eng.ICount(),
+				Stack:  stack.NoID,
+				Detail: panicDetail("a stack-mode replay", sres.Panic),
+			})
+			if noProgressRetry("stack-mode replay panicked (attempt %d/%d)",
+				noProgress+1, maxNoProgress) {
+				return false
+			}
+			continue
+		case sres.Hang != nil:
+			if sres.Hang.Deadline {
+				return true
+			}
+			res.TargetHangs++
+			rep.Add(report.Finding{
+				Kind:   report.TargetCrash,
+				ICount: eng.ICount(),
+				Stack:  stack.NoID,
+				Detail: hangDetail("a stack-mode replay", sres.Hang),
+			})
+			if noProgressRetry("stack-mode replay exhausted its hang budget (attempt %d/%d)",
+				noProgress+1, maxNoProgress) {
+				return false
+			}
+			continue
+		case sres.Sig == nil:
 			// No unvisited failure point was reached; done.
 			return false
 		}
+		noProgress = 0
+		sig := sres.Sig
 		injected++
 		res.Injections++
 
 		img := eng.PrefixImage()
-		out := oracle.Check(app, img)
+		check, ddl := boundedCheck(app, img, sb)
+		if ddl {
+			return true
+		}
 		res.Recoveries++
-		if !out.Consistent() {
-			detail := out.Describe()
-			if out.Verdict == oracle.Crashed && out.PanicTrace != "" {
-				detail += "\nrecovery trace:\n" + truncate(out.PanicTrace, 800)
+		if !check.Consistent() {
+			kind := report.CrashConsistency
+			if check.Verdict == oracle.Hung {
+				kind = report.RecoveryHang
+				res.RecoveryHangs++
+			}
+			detail := check.Describe()
+			if check.Verdict == oracle.Crashed && check.PanicTrace != "" {
+				detail += "\nrecovery trace:\n" + truncate(check.PanicTrace, 800)
 			}
 			stackID := sig.Stack
 			if inj.Fired != nil {
 				stackID = inj.Fired.Stack
 			}
 			rep.Add(report.Finding{
-				Kind:   report.CrashConsistency,
+				Kind:   kind,
 				ICount: sig.ICount,
 				Stack:  stackID,
 				Detail: detail,

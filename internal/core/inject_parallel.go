@@ -35,7 +35,7 @@ import (
 // cfg.Workers goroutines and merges the outcomes deterministically. It
 // returns whether the deadline expired before every leaf was consumed.
 func injectCounterParallel(app harness.Application, w workload.Workload, leaves []*fpt.Leaf,
-	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
+	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, sb sandboxCfg) (timedOut bool) {
 
 	n := len(leaves)
 	workers := cfg.Workers
@@ -63,13 +63,13 @@ func injectCounterParallel(app harness.Application, w workload.Workload, leaves 
 				if i >= n {
 					return
 				}
-				if !deadline.IsZero() && time.Now().After(deadline) {
+				if !sb.deadline.IsZero() && time.Now().After(sb.deadline) {
 					// Leave the slot marked not-executed; the merge
 					// loop turns the first such slot into TimedOut.
 					close(done[i])
 					return
 				}
-				outcomes[i] = replayLeaf(app, w, leaves[i], stacks)
+				outcomes[i] = replayLeafWithRetry(app, w, leaves[i], stacks, sb)
 				close(done[i])
 			}
 		}()
@@ -82,7 +82,11 @@ func injectCounterParallel(app harness.Application, w workload.Workload, leaves 
 		}
 		<-done[i]
 		out := outcomes[i]
-		if !out.executed {
+		if !out.executed || out.deadlineHit {
+			// Either the worker saw the deadline before replaying, or
+			// the mid-replay watchdog cut the replay short: both are
+			// budget expiry, decided here in leaf order so speculative
+			// later replays are discarded exactly like the serial path.
 			timedOut = true
 			break
 		}

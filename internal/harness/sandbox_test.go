@@ -1,0 +1,67 @@
+package harness_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mumak/internal/harness"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+func TestSandboxCleanRunMatchesExecute(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 3, Seed: 1})
+	eng, out := harness.ExecuteSandboxed(&scriptApp{}, w, pmem.Options{})
+	if out != (harness.Outcome{}) {
+		t.Fatalf("outcome = %+v, want zero", out)
+	}
+	ref, _, _ := harness.Execute(&scriptApp{}, w, pmem.Options{})
+	if eng.ICount() != ref.ICount() {
+		t.Fatalf("sandboxed run delivered %d events, unsandboxed %d", eng.ICount(), ref.ICount())
+	}
+}
+
+func TestSandboxTrapsCrashSignal(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 3, Seed: 1})
+	eng, out := harness.ExecuteSandboxed(&scriptApp{}, w, pmem.Options{}, crashHook{at: 5})
+	if out.Sig == nil || out.Sig.ICount != 5 || out.Panic != nil || out.Hang != nil || out.Err != nil {
+		t.Fatalf("outcome = %+v, want only Sig at 5", out)
+	}
+	if eng.ICount() != 5 {
+		t.Fatalf("engine stopped at %d, want 5", eng.ICount())
+	}
+}
+
+func TestSandboxCapturesForeignPanic(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 3, Seed: 1})
+	_, out := harness.ExecuteSandboxed(&scriptApp{}, w, pmem.Options{}, panicHook{})
+	if out.Panic == nil {
+		t.Fatalf("outcome = %+v, want a captured panic", out)
+	}
+	if out.Panic.Value != "not a crash signal" {
+		t.Errorf("panic value = %v", out.Panic.Value)
+	}
+	if !strings.Contains(out.Panic.Trace, "OnEvent") {
+		t.Error("panic trace lacks the failing frame")
+	}
+}
+
+func TestSandboxCapturesHangSignal(t *testing.T) {
+	w := workload.Generate(workload.Config{N: 50, Seed: 1})
+	eng, out := harness.ExecuteSandboxed(&scriptApp{}, w, pmem.Options{MaxEvents: 10})
+	if out.Hang == nil || out.Hang.Budget != 10 || out.Panic != nil {
+		t.Fatalf("outcome = %+v, want a fuel trip at budget 10", out)
+	}
+	if eng.ICount() != 11 {
+		t.Fatalf("engine stopped at %d, want 11", eng.ICount())
+	}
+}
+
+func TestSandboxReturnsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, out := harness.ExecuteSandboxed(&scriptApp{setupErr: boom}, workload.Workload{}, pmem.Options{})
+	if !errors.Is(out.Err, boom) || !strings.Contains(out.Err.Error(), "setup") {
+		t.Fatalf("outcome = %+v, want the wrapped setup error", out)
+	}
+}

@@ -161,3 +161,36 @@ func ResetAnalyzerPeaks() {
 	analyzerPeakLines.Store(0)
 	analyzerPeakStateBytes.Store(0)
 }
+
+// Campaign sandbox counters. Every analysis folds its sandbox
+// interventions in here so long-running harnesses (and the robustness
+// benches) can observe process-wide how often targets panicked, ran out
+// of hang-watchdog fuel, or hung in recovery.
+var (
+	sandboxTargetPanics  atomic.Int64
+	sandboxTargetHangs   atomic.Int64
+	sandboxRecoveryHangs atomic.Int64
+)
+
+// RecordSandbox accumulates one analysis run's sandbox interventions.
+// Safe for concurrent runs.
+func RecordSandbox(targetPanics, targetHangs, recoveryHangs int) {
+	sandboxTargetPanics.Add(int64(targetPanics))
+	sandboxTargetHangs.Add(int64(targetHangs))
+	sandboxRecoveryHangs.Add(int64(recoveryHangs))
+}
+
+// SandboxCounters returns the process-wide sandbox totals recorded since
+// the last reset: target panics, fuel-budget kills, and recovery hangs.
+func SandboxCounters() (targetPanics, targetHangs, recoveryHangs int) {
+	return int(sandboxTargetPanics.Load()),
+		int(sandboxTargetHangs.Load()),
+		int(sandboxRecoveryHangs.Load())
+}
+
+// ResetSandboxCounters zeroes the sandbox totals.
+func ResetSandboxCounters() {
+	sandboxTargetPanics.Store(0)
+	sandboxTargetHangs.Store(0)
+	sandboxRecoveryHangs.Store(0)
+}

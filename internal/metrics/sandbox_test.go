@@ -1,0 +1,18 @@
+package metrics
+
+import "testing"
+
+func TestSandboxCountersAccumulate(t *testing.T) {
+	ResetSandboxCounters()
+	RecordSandbox(1, 2, 3)
+	RecordSandbox(1, 0, 1)
+	panics, hangs, recoveries := SandboxCounters()
+	if panics != 2 || hangs != 2 || recoveries != 4 {
+		t.Errorf("SandboxCounters = %d/%d/%d, want 2/2/4", panics, hangs, recoveries)
+	}
+	ResetSandboxCounters()
+	panics, hangs, recoveries = SandboxCounters()
+	if panics != 0 || hangs != 0 || recoveries != 0 {
+		t.Errorf("reset left %d/%d/%d", panics, hangs, recoveries)
+	}
+}

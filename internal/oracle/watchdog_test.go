@@ -1,0 +1,97 @@
+package oracle_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mumak/internal/oracle"
+	"mumak/internal/pmem"
+	"mumak/internal/workload"
+)
+
+// loopApp's recovery never terminates. With pm=true the loop issues PM
+// loads (the fuel budget's prey); with pm=false it parks on a channel
+// forever (only the wall-clock watchdog can classify it).
+type loopApp struct{ pm bool }
+
+func (l *loopApp) Name() string                                  { return "loop" }
+func (l *loopApp) PoolSize() int                                 { return 4096 }
+func (l *loopApp) Setup(e *pmem.Engine) error                    { return nil }
+func (l *loopApp) Run(e *pmem.Engine, w workload.Workload) error { return nil }
+func (l *loopApp) Recover(e *pmem.Engine) error {
+	if l.pm {
+		for {
+			// A recovery scanning a corrupted image forever: each
+			// probe is a PM load, so the fuel budget preempts it.
+			_ = e.Load64(0)
+		}
+	}
+	<-make(chan struct{}) // parks forever without touching PM
+	return nil
+}
+
+func TestFuelBudgetYieldsHungVerdict(t *testing.T) {
+	out := oracle.CheckBounded(&loopApp{pm: true}, img(), oracle.Watchdog{MaxEvents: 1000, Timeout: 30 * time.Second})
+	if out.Consistent() || out.Verdict != oracle.Hung {
+		t.Fatalf("verdict = %v, want Hung", out.Verdict)
+	}
+	if out.Hang == nil || out.Hang.Deadline || out.Hang.Budget != 1000 {
+		t.Fatalf("Hang = %+v, want a fuel trip at budget 1000", out.Hang)
+	}
+	if got := out.Describe(); !strings.Contains(got, "1000 PM events") {
+		t.Errorf("describe = %q, want the deterministic fuel description", got)
+	}
+	if out.Engine != nil {
+		t.Error("hung outcome must not expose a half-recovered engine")
+	}
+}
+
+func TestWallClockYieldsHungVerdict(t *testing.T) {
+	start := time.Now()
+	out := oracle.CheckBounded(&loopApp{pm: false}, img(), oracle.Watchdog{MaxEvents: 1 << 30, Timeout: 50 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("watchdog took %s to fire", elapsed)
+	}
+	if out.Verdict != oracle.Hung || out.Hang != nil {
+		t.Fatalf("outcome = %+v, want a wall-clock Hung verdict", out)
+	}
+	if got := out.Describe(); !strings.Contains(got, "50ms wall-clock watchdog") {
+		t.Errorf("describe = %q, want the configured-timeout description", got)
+	}
+}
+
+func TestBoundedCheckPassesCleanRecoveryThrough(t *testing.T) {
+	wd := oracle.Watchdog{MaxEvents: 1 << 20, Timeout: 10 * time.Second}
+	out := oracle.CheckBounded(&fakeApp{mode: 0}, img(), wd)
+	if !out.Consistent() {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Engine == nil || out.Engine.Load64(0) != 7 {
+		t.Fatal("post-recovery engine not available after a bounded clean check")
+	}
+}
+
+func TestBoundedCheckKeepsOtherVerdicts(t *testing.T) {
+	wd := oracle.Watchdog{MaxEvents: 1 << 20, Timeout: 10 * time.Second}
+	if out := oracle.CheckBounded(&fakeApp{mode: 1}, img(), wd); out.Verdict != oracle.Unrecoverable {
+		t.Fatalf("verdict = %v, want Unrecoverable", out.Verdict)
+	}
+	if out := oracle.CheckBounded(&fakeApp{mode: 2}, img(), wd); out.Verdict != oracle.Crashed {
+		t.Fatalf("verdict = %v, want Crashed", out.Verdict)
+	}
+}
+
+func TestZeroWatchdogMatchesCheck(t *testing.T) {
+	plain := oracle.Check(&fakeApp{mode: 1}, img())
+	bounded := oracle.CheckBounded(&fakeApp{mode: 1}, img(), oracle.Watchdog{})
+	if plain.Verdict != bounded.Verdict || plain.Describe() != bounded.Describe() {
+		t.Fatalf("zero watchdog diverged: %v vs %v", plain, bounded)
+	}
+}
+
+func TestHungVerdictString(t *testing.T) {
+	if oracle.Hung.String() != "recovery hung" {
+		t.Fatalf("Hung renders as %q", oracle.Hung.String())
+	}
+}

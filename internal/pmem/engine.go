@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"mumak/internal/stack"
 )
@@ -123,6 +124,12 @@ func (e *Engine) emit(op Opcode, addr uint64, size int, data []byte) {
 	e.icount++
 	if e.icount == e.opts.CrashAt {
 		panic(&CrashSignal{ICount: e.icount, Reason: "failure point (counter mode)"})
+	}
+	if e.opts.MaxEvents != 0 && e.icount > e.opts.MaxEvents {
+		panic(&HangSignal{ICount: e.icount, Budget: e.opts.MaxEvents})
+	}
+	if e.icount%deadlineEvery == 0 && !e.opts.Deadline.IsZero() && time.Now().After(e.opts.Deadline) {
+		panic(&HangSignal{ICount: e.icount, Deadline: true})
 	}
 	if len(e.hooks) == 0 && e.opts.Capture == CaptureNone {
 		return

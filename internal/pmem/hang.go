@@ -1,0 +1,39 @@
+package pmem
+
+import "fmt"
+
+// deadlineEvery is the instruction-count stride at which the engine
+// samples the wall clock against Options.Deadline. Checking every event
+// would put a syscall on the hot path; every 1024th event bounds the
+// overshoot to microseconds while keeping the common case to a single
+// integer mask.
+const deadlineEvery = 1024
+
+// HangSignal is the panic value the engine raises when an execution
+// exhausts its watchdog bounds: the deterministic fuel budget
+// (Options.MaxEvents) or the wall-clock deadline (Options.Deadline).
+//
+// It is the preemption point of the whole tool: any code that touches PM
+// — the target's workload, a fault-injection replay, a recovery
+// procedure looping on a corrupted image — can be stopped from the
+// outside without cooperation from the target, which is what lets a
+// campaign survive non-terminating black-box behaviour and report it as
+// a liveness finding instead of hanging with it.
+type HangSignal struct {
+	// ICount is the instruction counter at which the watchdog fired.
+	ICount uint64
+	// Budget is the exhausted event budget; zero when the wall-clock
+	// deadline tripped instead.
+	Budget uint64
+	// Deadline reports that the wall-clock deadline, not the fuel
+	// budget, stopped the execution.
+	Deadline bool
+}
+
+// Error makes HangSignal usable as an error value.
+func (h *HangSignal) Error() string {
+	if h.Deadline {
+		return fmt.Sprintf("execution stopped by the wall-clock watchdog at instruction %d", h.ICount)
+	}
+	return fmt.Sprintf("execution exhausted its budget of %d PM events", h.Budget)
+}

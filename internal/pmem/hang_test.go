@@ -1,0 +1,92 @@
+package pmem
+
+import (
+	"testing"
+	"time"
+)
+
+// run executes f, returning the recovered *HangSignal (nil when f
+// returned normally).
+func trapHang(t *testing.T, f func()) (sig *HangSignal) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			hs, ok := r.(*HangSignal)
+			if !ok {
+				t.Fatalf("unexpected panic value %v", r)
+			}
+			sig = hs
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestMaxEventsTripsHangSignal(t *testing.T) {
+	e := NewEngine(Options{PoolSize: 4096, MaxEvents: 10})
+	sig := trapHang(t, func() {
+		for i := 0; i < 100; i++ {
+			e.Load64(0)
+		}
+	})
+	if sig == nil {
+		t.Fatal("fuel budget never fired")
+	}
+	if sig.Budget != 10 || sig.ICount != 11 || sig.Deadline {
+		t.Fatalf("HangSignal = %+v, want budget 10 tripped at instruction 11", sig)
+	}
+}
+
+func TestMaxEventsZeroIsUnbounded(t *testing.T) {
+	e := NewEngine(Options{PoolSize: 4096})
+	if sig := trapHang(t, func() {
+		for i := 0; i < 5000; i++ {
+			e.Load64(0)
+		}
+	}); sig != nil {
+		t.Fatalf("unbounded engine raised %+v", sig)
+	}
+}
+
+func TestCrashAtWinsOverFuel(t *testing.T) {
+	// An injected crash at the budget boundary must surface as a
+	// CrashSignal, not a HangSignal: the replay reached its target.
+	e := NewEngine(Options{PoolSize: 4096, MaxEvents: 5, CrashAt: 5})
+	defer func() {
+		if _, ok := recover().(*CrashSignal); !ok {
+			t.Fatal("expected a CrashSignal at the shared boundary")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		e.Load64(0)
+	}
+}
+
+func TestDeadlineTripsHangSignal(t *testing.T) {
+	e := NewEngine(Options{PoolSize: 4096, Deadline: time.Now().Add(20 * time.Millisecond)})
+	done := make(chan *HangSignal, 1)
+	go func() {
+		defer func() {
+			sig, _ := recover().(*HangSignal)
+			done <- sig
+		}()
+		for {
+			e.Load64(0)
+		}
+	}()
+	select {
+	case sig := <-done:
+		if sig == nil || !sig.Deadline || sig.Budget != 0 {
+			t.Fatalf("HangSignal = %+v, want a deadline trip", sig)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadline watchdog never preempted the loop")
+	}
+}
+
+func TestHangSignalError(t *testing.T) {
+	fuel := &HangSignal{ICount: 7, Budget: 6}
+	if fuel.Error() == "" || (&HangSignal{ICount: 7, Deadline: true}).Error() == "" {
+		t.Fatal("HangSignal must render as an error")
+	}
+}

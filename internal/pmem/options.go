@@ -1,6 +1,10 @@
 package pmem
 
-import "mumak/internal/stack"
+import (
+	"time"
+
+	"mumak/internal/stack"
+)
 
 // CacheLineSize is the unit on which flush instructions act.
 const CacheLineSize = 64
@@ -64,6 +68,18 @@ type Options struct {
 	// injection of §5: no event construction or hook dispatch happens
 	// on the replay's hot path.
 	CrashAt uint64
+	// MaxEvents, when non-zero, is a deterministic fuel budget: the
+	// engine panics with a *HangSignal once the instruction counter
+	// exceeds it. It preempts targets whose PM activity never
+	// terminates (infinite recovery loops, runaway event allocation)
+	// at a reproducible point.
+	MaxEvents uint64
+	// Deadline, when non-zero, makes the engine panic with a
+	// *HangSignal once the wall clock passes it (sampled every
+	// deadlineEvery events). It bounds executions whose event rate is
+	// too slow for a fuel budget to be meaningful, and lets campaign
+	// budgets cut a replay mid-flight instead of only between replays.
+	Deadline time.Time
 	// Capture selects stack capture.
 	Capture StackCapture
 	// Stacks is the table stacks are interned into. A shared table lets

@@ -23,6 +23,16 @@ const (
 	// CrashConsistency: an injected crash produced a state the
 	// recovery procedure rejected (fault-injection phase).
 	CrashConsistency Kind = iota
+	// TargetCrash: the target's own execution failed abruptly outside
+	// fault injection — a foreign panic, or a run the hang watchdog
+	// had to terminate (possible non-termination / runaway PM event
+	// allocation). Captured by the campaign sandbox; the detail
+	// distinguishes the two.
+	TargetCrash
+	// RecoveryHang: the recovery procedure did not terminate within
+	// the watchdog bounds — non-terminating recovery, a first-class
+	// liveness bug category in PM bug studies.
+	RecoveryHang
 	// Durability: a store that was never explicitly persisted although
 	// its address is flushed elsewhere in the execution.
 	Durability
@@ -56,6 +66,8 @@ const (
 
 var kindNames = [...]string{
 	CrashConsistency:     "crash-consistency bug",
+	TargetCrash:          "target crash outside injection",
+	RecoveryHang:         "recovery hang",
 	Durability:           "durability bug",
 	DirtyOverwrite:       "dirty overwrite",
 	RedundantFlush:       "redundant flush",
@@ -80,6 +92,8 @@ func (k Kind) IsWarning() bool { return k >= WarnTransientData }
 // Class maps the finding kind onto the §2 taxonomy.
 func (k Kind) Class() taxonomy.Class {
 	switch k {
+	case TargetCrash, RecoveryHang:
+		return taxonomy.Liveness
 	case Durability, DirtyOverwrite:
 		return taxonomy.Durability
 	case RedundantFlush, WarnMultiStoreFlush, WarnRedundantNTFlush:
@@ -257,6 +271,10 @@ func (r *Report) Format(withWarnings bool) string {
 // that fired.
 func (f Finding) Suggest() string {
 	switch f.Kind {
+	case TargetCrash:
+		return "fix the abrupt failure first: the target crashed or looped without an injected fault, so every other finding is suspect"
+	case RecoveryHang:
+		return "bound the recovery scan: a corrupted image must be rejected with an error, not retried forever"
 	case Durability:
 		return "persist the store: flush its cache line(s) and fence before the data is relied upon"
 	case DirtyOverwrite:

@@ -16,6 +16,8 @@ func TestKindClassification(t *testing.T) {
 		class   taxonomy.Class
 	}{
 		CrashConsistency:     {false, taxonomy.Atomicity},
+		TargetCrash:          {false, taxonomy.Liveness},
+		RecoveryHang:         {false, taxonomy.Liveness},
 		Durability:           {false, taxonomy.Durability},
 		DirtyOverwrite:       {false, taxonomy.Durability},
 		RedundantFlush:       {false, taxonomy.RedundantFlush},

@@ -28,6 +28,13 @@ const (
 	// TransientData: PM used for data that is never persisted and
 	// could live in volatile memory.
 	TransientData
+	// Liveness: the target crashes abruptly outside fault injection or
+	// fails to terminate (non-terminating recovery, runaway PM event
+	// allocation). This class extends the §2 taxonomy — PM bug studies
+	// treat abrupt recovery crashes and non-terminating recovery as
+	// first-class categories — and is deliberately excluded from
+	// Classes(), which reproduces the paper's Table 1 columns.
+	Liveness
 )
 
 var classNames = [...]string{
@@ -37,6 +44,7 @@ var classNames = [...]string{
 	RedundantFlush: "redundant-flush",
 	RedundantFence: "redundant-fence",
 	TransientData:  "transient-data",
+	Liveness:       "liveness",
 }
 
 // String returns the class name.
@@ -47,11 +55,13 @@ func (c Class) String() string {
 	return "class?"
 }
 
-// Correctness reports whether the class is a crash-consistency class (as
-// opposed to a performance class).
-func (c Class) Correctness() bool { return c <= Ordering }
+// Correctness reports whether the class is a correctness class (as
+// opposed to a performance class). Liveness failures are correctness
+// bugs: the target or its recovery stops serving.
+func (c Class) Correctness() bool { return c <= Ordering || c == Liveness }
 
-// Classes lists every class in taxonomy order.
+// Classes lists every §2 class in taxonomy order (the Table 1 columns;
+// the repo's Liveness extension is excluded).
 func Classes() []Class {
 	return []Class{Durability, Atomicity, Ordering, RedundantFlush, RedundantFence, TransientData}
 }

@@ -3,7 +3,7 @@ package taxonomy
 import "testing"
 
 func TestClassCorrectnessSplit(t *testing.T) {
-	for _, c := range []Class{Durability, Atomicity, Ordering} {
+	for _, c := range []Class{Durability, Atomicity, Ordering, Liveness} {
 		if !c.Correctness() {
 			t.Errorf("%v should be a correctness class", c)
 		}
