@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mumak/internal/apps"
+	"mumak/internal/apps/apptest/imagedup"
 	_ "mumak/internal/apps/art"
 	"mumak/internal/apps/btree"
 	_ "mumak/internal/apps/cceh"
@@ -448,5 +449,81 @@ func BenchmarkPMFuzzCoverageGain(b *testing.B) {
 			b.ReportMetric(float64(res.SeedCoverage), "seed_paths")
 			b.ReportMetric(float64(res.BestCoverage), "fuzzed_paths")
 		}
+	}
+}
+
+// --- Crash-image dedup cache (DESIGN.md item 11).
+
+// BenchmarkCrashImageMaterialisation measures the cost of taking the
+// graceful-crash snapshot from a warm engine. The cow variant is the
+// engine path: a shared base plus an O(dirty) overlay of the lines
+// persisted since the last snapshot. The flat variant materialises a
+// private full-pool copy each time — the pre-COW cost every snapshot
+// used to pay.
+func BenchmarkCrashImageMaterialisation(b *testing.B) {
+	for _, poolMB := range []int{1, 4} {
+		size := poolMB << 20
+		for _, mode := range []string{"cow", "flat"} {
+			b.Run(fmt.Sprintf("%s/pool-%dmb", mode, poolMB), func(b *testing.B) {
+				e := pmem.NewEngine(pmem.Options{PoolSize: size})
+				e.PrefixImage() // establish the snapshot base
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// A handful of persisted lines between snapshots, the
+					// shape of consecutive counter-mode failure points.
+					for j := 0; j < 4; j++ {
+						addr := uint64((i*4+j)%(size/64)) * 64
+						e.Store64(addr, uint64(i))
+						e.CLWB(addr)
+						e.SFence()
+					}
+					img := e.PrefixImage()
+					if mode == "flat" {
+						img = img.Clone()
+					}
+					if img.Len() != size {
+						b.Fatal("bad image")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkInjectionCampaignCached measures the verdict cache on the
+// fixture built for it: an imagedup target whose scan phase makes most
+// failure points materialise byte-identical crash images. The cached
+// and uncached campaigns produce identical reports; the metrics carry
+// the injection time and the measured hit rate.
+func BenchmarkInjectionCampaignCached(b *testing.B) {
+	w := workload.Generate(workload.Config{N: 100, Seed: 42})
+	mk := func() harness.Application {
+		return imagedup.Custom("imagedup-bench", imagedup.Clean, 6, 40, 1<<20)
+	}
+	for _, mode := range []struct {
+		name      string
+		cacheSize int
+	}{{"cached", 0}, {"uncached", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var inject time.Duration
+			var hits, lookups int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Analyze(mk(), w, core.Config{
+					DisableTraceAnalysis: true,
+					ImageCacheSize:       mode.cacheSize,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				inject += res.InjectTime
+				hits += res.ImageCacheHits
+				lookups += res.ImageCacheHits + res.ImageCacheMisses
+			}
+			b.ReportMetric(inject.Seconds()/float64(b.N), "inject_sec")
+			if lookups > 0 {
+				b.ReportMetric(100*float64(hits)/float64(lookups), "hit_pct")
+			}
+		})
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"mumak/internal/apps"
+	"mumak/internal/apps/apptest/imagedup"
 	"mumak/internal/apps/apptest/misbehave"
 	_ "mumak/internal/apps/art"
 	_ "mumak/internal/apps/btree"
@@ -64,15 +65,17 @@ func main() {
 		printTree  = flag.Bool("print-tree", false, "render the failure point tree (the Fig 2 view)")
 		hangBudget = flag.Uint64("hang-budget", 0, "PM events one execution may emit before the hang watchdog kills it (0 = default)")
 		recTimeout = flag.Duration("recovery-timeout", 0, "wall-clock watchdog per recovery-oracle invocation (0 = default)")
+		imageCache = flag.Int("image-cache", core.DefaultImageCacheSize, "crash-image verdict cache capacity: identical crash images reuse one recovery verdict (0 disables)")
 		exitZero   = flag.Bool("exit-zero", false, "exit 0 even when bugs were found (smoke tests that assert findings without failing the step)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(apps.Names(), "\n"))
-		// The sandbox fixtures are targets too (kept out of the paper's
-		// §6 registry on purpose).
+		// The sandbox and image-dedup fixtures are targets too (kept out
+		// of the paper's §6 registry on purpose).
 		fmt.Println(strings.Join(misbehave.Names(), "\n"))
+		fmt.Println(strings.Join(imagedup.Names(), "\n"))
 		return
 	}
 	ver, err := parseVersion(*pmdkVer)
@@ -97,6 +100,8 @@ func main() {
 	var app harness.Application
 	if fixture, ok := misbehave.New(*target); ok {
 		app = fixture
+	} else if fixture, ok := imagedup.New(*target); ok {
+		app = fixture
 	} else {
 		app, err = apps.New(*target, cfg)
 		if err != nil {
@@ -108,6 +113,10 @@ func main() {
 	if *storeGran {
 		gran = fpt.GranStore
 	}
+	cacheSize := *imageCache
+	if cacheSize <= 0 {
+		cacheSize = -1 // flag 0 means "off"; Config 0 means "default"
+	}
 	res, err := core.Analyze(app, w, core.Config{
 		Granularity:     gran,
 		Budget:          *budget,
@@ -117,6 +126,7 @@ func main() {
 		EADR:            *eadr,
 		HangBudget:      *hangBudget,
 		RecoveryTimeout: *recTimeout,
+		ImageCacheSize:  cacheSize,
 	})
 	if err != nil {
 		fatal(err)
@@ -163,6 +173,11 @@ func main() {
 	if res.TargetPanics > 0 || res.TargetHangs > 0 || res.RecoveryHangs > 0 {
 		fmt.Printf("sandbox interventions: %d target panic(s), %d hang-budget kill(s), %d recovery hang(s)\n",
 			res.TargetPanics, res.TargetHangs, res.RecoveryHangs)
+	}
+	if lookups := res.ImageCacheHits + res.ImageCacheMisses; lookups > 0 {
+		fmt.Printf("image cache: %d hit(s), %d miss(es) (%.1f%% hit rate, %d image(s) cached)\n",
+			res.ImageCacheHits, res.ImageCacheMisses,
+			100*float64(res.ImageCacheHits)/float64(lookups), res.ImageCacheEntries)
 	}
 	fmt.Printf("time: %s total (instrument %s, inject %s, trace analysis %s)\n",
 		res.Elapsed.Round(time.Millisecond), res.InstrumentTime.Round(time.Millisecond),

@@ -87,6 +87,14 @@ type Config struct {
 	// watchdog on each recovery-oracle invocation (0 = default). The
 	// campaign deadline caps it further when less budget remains.
 	RecoveryTimeout time.Duration
+	// ImageCacheSize bounds the crash-image verdict cache: recovery
+	// verdicts are memoised by image content hash, so leaves whose
+	// graceful-crash images are byte-identical (common when failure
+	// points are separated only by flushes and fences) run the recovery
+	// oracle once. Zero selects DefaultImageCacheSize; a negative value
+	// disables caching. Reports are identical either way — only the
+	// redundant recovery runs are skipped.
+	ImageCacheSize int
 	// unsandboxed restores the pre-sandbox execution path — target
 	// panics propagate and no watchdogs run. It exists only so
 	// package-internal differential tests can prove the sandbox leaves
@@ -134,6 +142,20 @@ type Result struct {
 	// classified as non-terminating; each produced a RecoveryHang
 	// finding.
 	RecoveryHangs int
+	// ImageCacheHits and ImageCacheMisses count verdict-cache
+	// consultations during fault injection: a hit delivered a memoised
+	// verdict without running recovery (the hit is still counted in
+	// Recoveries — a verdict was delivered), a miss ran the oracle and
+	// populated the cache. Their sum equals Recoveries when caching is
+	// enabled; the split between them is scheduling-dependent under
+	// Workers>1 (whichever worker reaches a fresh image first takes the
+	// miss). Both are zero when caching is disabled.
+	ImageCacheHits   int
+	ImageCacheMisses int
+	// ImageCacheEntries is the number of distinct crash images resident
+	// in the verdict cache when the campaign ended (bounded by
+	// ImageCacheSize).
+	ImageCacheEntries int
 	// AnalyzerPeakLines is the online analyzer's peak number of
 	// simultaneously tracked cache lines (zero when trace analysis was
 	// disabled).
@@ -267,6 +289,7 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 	}
 
 	metrics.RecordSandbox(res.TargetPanics, res.TargetHangs, res.RecoveryHangs)
+	metrics.RecordImageCache(res.ImageCacheHits, res.ImageCacheMisses)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -153,14 +153,23 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
 
 	sb := cfg.sandbox(deadline)
+	// One verdict cache per campaign: application, workload and recovery
+	// configuration are fixed here, so entries are keyed by image
+	// identity alone. The cache is shared across parallel workers.
+	cache := newImageCache(cfg.imageCacheCapacity())
+	defer func() {
+		if cache != nil {
+			res.ImageCacheEntries = cache.Len()
+		}
+	}()
 	if cfg.StackMode {
-		return injectStackSerial(app, w, tree, cfg, rep, res, sb)
+		return injectStackSerial(app, w, tree, cfg, rep, res, sb, cache)
 	}
 	leaves := tree.Unvisited()
 	if cfg.Workers > 1 && len(leaves) > 1 {
-		return injectCounterParallel(app, w, leaves, tree.Stacks(), cfg, rep, res, sb)
+		return injectCounterParallel(app, w, leaves, tree.Stacks(), cfg, rep, res, sb, cache)
 	}
-	return injectCounterSerial(app, w, leaves, tree.Stacks(), cfg, rep, res, sb)
+	return injectCounterSerial(app, w, leaves, tree.Stacks(), cfg, rep, res, sb, cache)
 }
 
 // counterOutcome is the result of replaying one counter-mode leaf on a
@@ -197,6 +206,12 @@ type counterOutcome struct {
 	// recoveryHung marks an injected replay whose recovery the
 	// watchdog classified as non-terminating.
 	recoveryHung bool
+	// cacheHit and cacheMiss record the verdict-cache consultation of a
+	// recovered replay: a hit delivered a memoised verdict without
+	// running recovery, a miss ran the oracle and populated the cache.
+	// Both are false when caching is disabled.
+	cacheHit  bool
+	cacheMiss bool
 	// finding is the resulting finding, if any: a crash-consistency
 	// bug, a target crash, or a recovery hang.
 	finding *report.Finding
@@ -221,9 +236,10 @@ func replayFuel(budget, firstICount uint64) uint64 {
 // crashed at the leaf's first-occurrence instruction counter, followed
 // by the recovery oracle over the graceful-crash image (§4.1). It is
 // safe to call concurrently for different leaves: the engine, the crash
-// image and the oracle's recovery engine are all private to the call.
+// image and the oracle's recovery engine are all private to the call,
+// and the shared verdict cache is concurrency-safe.
 func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
-	stacks *stack.Table, sb sandboxCfg) counterOutcome {
+	stacks *stack.Table, sb sandboxCfg, cache *imageCache) counterOutcome {
 
 	out := counterOutcome{executed: true}
 	// Counter mode needs no hook at all: the engine crashes itself at
@@ -269,16 +285,21 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 	}
 	out.injected = true
 
-	// Materialise the graceful-crash image and run the vanilla,
-	// uninstrumented recovery procedure on it (§4.1), bounded by the
-	// hang watchdog.
-	img := eng.PrefixImage()
-	check, ddl := boundedCheck(app, img, sb)
+	// Run the vanilla, uninstrumented recovery procedure over the
+	// graceful-crash image (§4.1), bounded by the hang watchdog. The
+	// verdict cache is consulted first: when an identical image was
+	// already checked, the memoised verdict stands in for the recovery
+	// run and the image is never even materialised.
+	check, ddl, hit := cachedCheck(app, eng, sb, cache)
 	if ddl {
 		out.deadlineHit = true
 		return out
 	}
 	out.recovered = true
+	if cache != nil {
+		out.cacheHit = hit
+		out.cacheMiss = !hit
+	}
 	if !check.Consistent() {
 		kind := report.CrashConsistency
 		if check.Verdict == oracle.Hung {
@@ -305,15 +326,15 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 // skip. Panics, hangs and deadline cuts are never retried: the first is
 // already a finding, the others would only burn the remaining budget.
 func replayLeafWithRetry(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
-	stacks *stack.Table, sb sandboxCfg) counterOutcome {
+	stacks *stack.Table, sb sandboxCfg, cache *imageCache) counterOutcome {
 
-	out := replayLeaf(app, w, leaf, stacks, sb)
+	out := replayLeaf(app, w, leaf, stacks, sb, cache)
 	for attempt := 1; attempt <= maxLeafRetries && out.skipReason != ""; attempt++ {
 		if !sb.deadline.IsZero() && !time.Now().Before(sb.deadline) {
 			break
 		}
 		time.Sleep(time.Duration(attempt) * retryBackoff)
-		next := replayLeaf(app, w, leaf, stacks, sb)
+		next := replayLeaf(app, w, leaf, stacks, sb, cache)
 		next.events += out.events
 		next.retries = out.retries + 1
 		out = next
@@ -352,6 +373,12 @@ func consumeOutcome(leaf *fpt.Leaf, out counterOutcome, rep *report.Report, res 
 	if out.recovered {
 		res.Recoveries++
 	}
+	if out.cacheHit {
+		res.ImageCacheHits++
+	}
+	if out.cacheMiss {
+		res.ImageCacheMisses++
+	}
 	if out.recoveryHung {
 		res.RecoveryHangs++
 	}
@@ -366,7 +393,8 @@ func consumeOutcome(leaf *fpt.Leaf, out counterOutcome, rep *report.Report, res 
 // replay engine carries it as a wall-clock watchdog, so a single long
 // replay can no longer overshoot the budget arbitrarily.
 func injectCounterSerial(app harness.Application, w workload.Workload, leaves []*fpt.Leaf,
-	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, sb sandboxCfg) (timedOut bool) {
+	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, sb sandboxCfg,
+	cache *imageCache) (timedOut bool) {
 
 	injected := 0
 	for _, leaf := range leaves {
@@ -376,7 +404,7 @@ func injectCounterSerial(app harness.Application, w workload.Workload, leaves []
 		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
 			return false
 		}
-		out := replayLeafWithRetry(app, w, leaf, stacks, sb)
+		out := replayLeafWithRetry(app, w, leaf, stacks, sb, cache)
 		if out.deadlineHit {
 			return true
 		}
@@ -395,7 +423,7 @@ func injectCounterSerial(app harness.Application, w workload.Workload, leaves []
 // out. Replays run inside the sandbox with the campaign watchdogs, like
 // counter mode.
 func injectStackSerial(app harness.Application, w workload.Workload, tree *fpt.Tree,
-	cfg Config, rep *report.Report, res *Result, sb sandboxCfg) (timedOut bool) {
+	cfg Config, rep *report.Report, res *Result, sb sandboxCfg, cache *imageCache) (timedOut bool) {
 
 	stacks := tree.Stacks()
 	capture := pmem.CapturePersistency
@@ -479,12 +507,18 @@ func injectStackSerial(app harness.Application, w workload.Workload, tree *fpt.T
 		injected++
 		res.Injections++
 
-		img := eng.PrefixImage()
-		check, ddl := boundedCheck(app, img, sb)
+		check, ddl, hit := cachedCheck(app, eng, sb, cache)
 		if ddl {
 			return true
 		}
 		res.Recoveries++
+		if cache != nil {
+			if hit {
+				res.ImageCacheHits++
+			} else {
+				res.ImageCacheMisses++
+			}
+		}
 		if !check.Consistent() {
 			kind := report.CrashConsistency
 			if check.Verdict == oracle.Hung {

@@ -1,0 +1,149 @@
+// Crash-image verdict cache.
+//
+// The graceful-crash image of a counter-mode leaf changes only when the
+// program-order prefix gains a store: leaves separated by nothing but
+// flushes, fences and loads materialise byte-identical images, and the
+// deterministic recovery oracle necessarily returns the same verdict
+// for all of them. The campaign therefore memoises verdicts by image
+// content: before sandboxing a recovery it asks the engine for the
+// incrementally maintained image hash (O(changed lines), no
+// materialisation) and, on a hit, skips both the full-pool image copy
+// and the recovery run entirely.
+//
+// One cache is created per campaign in injectAll, so the application,
+// workload and recovery configuration are fixed for the lifetime of
+// every entry — the key only needs the image identity. The cache is
+// shared across the parallel campaign's workers and is bounded: least
+// recently used verdicts are evicted once the configured capacity is
+// exceeded, keeping memory proportional to the working set of distinct
+// crash states rather than to campaign length.
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"mumak/internal/harness"
+	"mumak/internal/oracle"
+	"mumak/internal/pmem"
+)
+
+// DefaultImageCacheSize is the verdict-cache capacity used when
+// Config.ImageCacheSize is zero. Entries hold a detached oracle outcome
+// (a few hundred bytes at worst), so the default is generous.
+const DefaultImageCacheSize = 4096
+
+// imageKey identifies a crash image by content. The hash is the
+// engine's incrementally maintained content hash; the pool size guards
+// the (already campaign-constant) image length. Distinct images
+// colliding on both is vanishingly unlikely (64-bit mixed hash) and at
+// worst replays a stale verdict for one leaf.
+type imageKey struct {
+	hash uint64
+	size int
+}
+
+// imageCache is a bounded, concurrency-safe LRU map from crash-image
+// identity to the oracle verdict the image produced.
+type imageCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[imageKey]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type imageCacheEntry struct {
+	key imageKey
+	out oracle.Outcome
+}
+
+// newImageCache returns a cache bounded to capacity entries, or nil
+// (caching disabled) when capacity is not positive.
+func newImageCache(capacity int) *imageCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &imageCache{
+		capacity: capacity,
+		entries:  make(map[imageKey]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// lookup returns the memoised verdict for the key, refreshing its
+// recency on a hit.
+func (c *imageCache) lookup(k imageKey) (oracle.Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return oracle.Outcome{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*imageCacheEntry).out, true
+}
+
+// store memoises a verdict, evicting the least recently used entry when
+// the cache is full. Callers must store detached outcomes only (no
+// retained recovery engine).
+func (c *imageCache) store(k imageKey, out oracle.Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		// A parallel worker raced us to the same image; keep the first
+		// verdict (deterministic targets produce the same one anyway).
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*imageCacheEntry).key)
+	}
+	c.entries[k] = c.order.PushFront(&imageCacheEntry{key: k, out: out})
+}
+
+// Len returns the number of cached verdicts.
+func (c *imageCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// imageCacheCapacity resolves the configured capacity: zero selects the
+// default, negative disables caching.
+func (cfg Config) imageCacheCapacity() int {
+	switch {
+	case cfg.ImageCacheSize < 0:
+		return 0
+	case cfg.ImageCacheSize == 0:
+		return DefaultImageCacheSize
+	default:
+		return cfg.ImageCacheSize
+	}
+}
+
+// cachedCheck runs the recovery oracle over the engine's graceful-crash
+// image, consulting the verdict cache first. On a hit the image is
+// never materialised and no recovery runs — the memoised outcome is
+// returned as-is. On a miss the oracle runs under the campaign
+// watchdogs and the verdict is cached, unless the campaign deadline cut
+// the check short: a deadline-cut outcome reflects the remaining
+// budget, not the image, and must never be replayed from the cache.
+func cachedCheck(app harness.Application, eng *pmem.Engine, sb sandboxCfg,
+	cache *imageCache) (out oracle.Outcome, deadlineHit, hit bool) {
+
+	if cache == nil {
+		out, deadlineHit = boundedCheck(app, eng.PrefixImage(), sb)
+		return out, deadlineHit, false
+	}
+	key := imageKey{hash: eng.PrefixImageHash(), size: eng.Size()}
+	if out, ok := cache.lookup(key); ok {
+		return out, false, true
+	}
+	out, deadlineHit = boundedCheck(app, eng.PrefixImage(), sb)
+	if !deadlineHit {
+		cache.store(key, out.Detached())
+	}
+	return out, deadlineHit, false
+}

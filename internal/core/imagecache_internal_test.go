@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mumak/internal/oracle"
+)
+
+func key(h uint64) imageKey { return imageKey{hash: h, size: 1 << 16} }
+
+func TestImageCacheLRUEviction(t *testing.T) {
+	c := newImageCache(2)
+	c.store(key(1), oracle.Outcome{Verdict: oracle.Consistent})
+	c.store(key(2), oracle.Outcome{Verdict: oracle.Unrecoverable})
+	// Refresh 1, insert 3: 2 is now the least recently used and must go.
+	if _, ok := c.lookup(key(1)); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	c.store(key(3), oracle.Outcome{Verdict: oracle.Crashed})
+	if _, ok := c.lookup(key(2)); ok {
+		t.Error("least recently used entry survived eviction")
+	}
+	if _, ok := c.lookup(key(1)); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if out, ok := c.lookup(key(3)); !ok || out.Verdict != oracle.Crashed {
+		t.Errorf("newest entry lookup = (%v, %v), want Crashed verdict", out.Verdict, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want capacity 2", c.Len())
+	}
+}
+
+func TestImageCacheFirstVerdictWins(t *testing.T) {
+	c := newImageCache(4)
+	c.store(key(9), oracle.Outcome{Verdict: oracle.Unrecoverable})
+	// A racing worker storing the same key must not clobber the entry.
+	c.store(key(9), oracle.Outcome{Verdict: oracle.Consistent})
+	out, ok := c.lookup(key(9))
+	if !ok || out.Verdict != oracle.Unrecoverable {
+		t.Errorf("lookup = (%v, %v), want the first verdict", out.Verdict, ok)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after duplicate store, want 1", c.Len())
+	}
+}
+
+func TestImageCacheKeyDiscriminates(t *testing.T) {
+	c := newImageCache(8)
+	c.store(imageKey{hash: 5, size: 100}, oracle.Outcome{Verdict: oracle.Crashed})
+	if _, ok := c.lookup(imageKey{hash: 5, size: 200}); ok {
+		t.Error("same hash with different pool size hit")
+	}
+	if _, ok := c.lookup(imageKey{hash: 6, size: 100}); ok {
+		t.Error("different hash hit")
+	}
+}
+
+func TestImageCacheDisabled(t *testing.T) {
+	if c := newImageCache(0); c != nil {
+		t.Error("capacity 0 must disable the cache")
+	}
+	if c := newImageCache(-3); c != nil {
+		t.Error("negative capacity must disable the cache")
+	}
+}
+
+func TestImageCacheCapacityConfig(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, DefaultImageCacheSize},
+		{-1, 0},
+		{17, 17},
+	}
+	for _, tc := range cases {
+		if got := (Config{ImageCacheSize: tc.in}).imageCacheCapacity(); got != tc.want {
+			t.Errorf("imageCacheCapacity(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestImageCacheConcurrent exercises the cache the way the parallel
+// campaign does: many goroutines looking up and storing overlapping
+// keys while evictions churn the LRU list. Run under -race.
+func TestImageCacheConcurrent(t *testing.T) {
+	c := newImageCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(uint64(i % 40))
+				if out, ok := c.lookup(k); ok {
+					if out.Err == nil {
+						t.Errorf("goroutine %d: cached outcome lost its error", g)
+						return
+					}
+					continue
+				}
+				c.store(k, oracle.Outcome{
+					Verdict: oracle.Unrecoverable,
+					Err:     fmt.Errorf("verdict for image %d", i%40),
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 16 {
+		t.Errorf("Len = %d exceeds capacity 16", n)
+	}
+}

@@ -1,0 +1,225 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mumak/internal/apps"
+	"mumak/internal/apps/apptest/imagedup"
+	"mumak/internal/apps/btree"
+	"mumak/internal/apps/levelhash"
+	"mumak/internal/bugs"
+	"mumak/internal/core"
+	"mumak/internal/harness"
+	"mumak/internal/report"
+	"mumak/internal/workload"
+)
+
+// renderReport captures everything a consumer of a report can observe:
+// the human-readable rendering (with warnings) and the JSON emission.
+func renderReport(t *testing.T, rep *report.Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	return rep.Format(true) + "\n--- json ---\n" + buf.String()
+}
+
+// cacheCases are the differential fixtures: targets with real findings,
+// a finding-free high-duplication target, and a target whose recovery
+// rejects everything.
+func cacheCases() []struct {
+	name string
+	mk   func() harness.Application
+	w    workload.Workload
+} {
+	newDup := func(name string) func() harness.Application {
+		return func() harness.Application {
+			app, ok := imagedup.New(name)
+			if !ok {
+				panic("unknown imagedup fixture " + name)
+			}
+			return app
+		}
+	}
+	return []struct {
+		name string
+		mk   func() harness.Application
+		w    workload.Workload
+	}{
+		{
+			name: "btree-bug",
+			mk: func() harness.Application {
+				return btree.New(cfgSPT(btree.BugCountOutsideTx))
+			},
+			w: smallWorkload(21),
+		},
+		{
+			name: "levelhash-bug",
+			mk: func() harness.Application {
+				return levelhash.New(apps.Config{
+					PoolSize: 2 << 20, WithRecovery: true,
+					Bugs: bugs.Enable("levelhash/c01-top-slot-count-order"),
+				})
+			},
+			w: workload.Generate(workload.Config{N: 300, Seed: 8, Keyspace: 150, PutFrac: 3, GetFrac: 1, DeleteFrac: 1}),
+		},
+		{name: "imagedup", mk: newDup("imagedup"), w: smallWorkload(3)},
+		{name: "imagedup-broken", mk: newDup("imagedup-broken"), w: smallWorkload(3)},
+	}
+}
+
+// TestImageCacheDifferential is the cache's correctness contract: for
+// every fixture, the report of a cached campaign — serial, parallel and
+// capacity-starved — is byte-identical (text and JSON) to an uncached
+// serial run, and the aggregate counters agree. Only the hit/miss split
+// may vary.
+func TestImageCacheDifferential(t *testing.T) {
+	for _, tc := range cacheCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			uncached, err := core.Analyze(tc.mk(), tc.w, core.Config{KeepWarnings: true, ImageCacheSize: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uncached.ImageCacheHits != 0 || uncached.ImageCacheMisses != 0 || uncached.ImageCacheEntries != 0 {
+				t.Fatalf("disabled cache reported traffic: %+v", uncached)
+			}
+			want := renderReport(t, uncached.Report)
+			variants := []struct {
+				name string
+				cfg  core.Config
+			}{
+				{"cached-serial", core.Config{KeepWarnings: true}},
+				{"cached-parallel", core.Config{KeepWarnings: true, Workers: 4}},
+				{"cached-capacity-1", core.Config{KeepWarnings: true, ImageCacheSize: 1}},
+			}
+			for _, v := range variants {
+				res, err := core.Analyze(tc.mk(), tc.w, v.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := renderReport(t, res.Report); got != want {
+					t.Errorf("%s: report differs from uncached serial run\n--- uncached ---\n%s\n--- %s ---\n%s",
+						v.name, want, v.name, got)
+				}
+				if res.Injections != uncached.Injections || res.Recoveries != uncached.Recoveries ||
+					res.SkippedFailurePoints != uncached.SkippedFailurePoints ||
+					res.EngineEvents != uncached.EngineEvents {
+					t.Errorf("%s: counters diverge: injections %d/%d recoveries %d/%d skipped %d/%d events %d/%d",
+						v.name, res.Injections, uncached.Injections, res.Recoveries, uncached.Recoveries,
+						res.SkippedFailurePoints, uncached.SkippedFailurePoints, res.EngineEvents, uncached.EngineEvents)
+				}
+				if res.ImageCacheHits+res.ImageCacheMisses != res.Recoveries {
+					t.Errorf("%s: cache traffic %d+%d does not account for %d recoveries",
+						v.name, res.ImageCacheHits, res.ImageCacheMisses, res.Recoveries)
+				}
+			}
+		})
+	}
+}
+
+// TestImageCacheDedupsScanPhase pins down the perf win on the fixture
+// built for it: the imagedup scan phase re-persists durable data, so
+// every scan leaf (and the deepest fill leaf) shares one crash image
+// and all but the first consultation hit the cache.
+func TestImageCacheDedupsScanPhase(t *testing.T) {
+	app, _ := imagedup.New("imagedup")
+	res, err := core.Analyze(app, smallWorkload(3), core.Config{DisableTraceAnalysis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injections == 0 {
+		t.Fatal("fixture injected nothing; dedup check is vacuous")
+	}
+	// depth+scan leaves plus setup: scan rounds and the deepest fill
+	// leaf share an image, so at least DefaultScanRounds hits.
+	if res.ImageCacheHits < imagedup.DefaultScanRounds {
+		t.Errorf("hits = %d, want >= %d (scan-phase leaves share one image)",
+			res.ImageCacheHits, imagedup.DefaultScanRounds)
+	}
+	if res.ImageCacheMisses == 0 || res.ImageCacheEntries == 0 {
+		t.Errorf("misses = %d, entries = %d; first sight of each image must miss and populate",
+			res.ImageCacheMisses, res.ImageCacheEntries)
+	}
+	if res.ImageCacheEntries > res.ImageCacheMisses {
+		t.Errorf("entries = %d exceeds misses = %d", res.ImageCacheEntries, res.ImageCacheMisses)
+	}
+}
+
+// TestImageCacheRecurringImageDistinctICounts checks that a memoised
+// verdict still yields one finding per failure point: imagedup-broken's
+// scan leaves crash at distinct instruction counters but share a single
+// (cached) Unrecoverable verdict, and every finding keeps its own
+// ICount.
+func TestImageCacheRecurringImageDistinctICounts(t *testing.T) {
+	app, _ := imagedup.New("imagedup-broken")
+	res, err := core.Analyze(app, smallWorkload(3), core.Config{DisableTraceAnalysis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImageCacheHits == 0 {
+		t.Fatal("no cache hits; recurring-image check is vacuous")
+	}
+	bugs := res.Report.Bugs()
+	if len(bugs) != res.Injections {
+		t.Fatalf("broken recovery produced %d findings for %d injections", len(bugs), res.Injections)
+	}
+	icounts := make(map[uint64]bool)
+	for _, f := range bugs {
+		icounts[f.ICount] = true
+	}
+	if len(icounts) != len(bugs) {
+		t.Errorf("findings share instruction counters: %d distinct of %d findings", len(icounts), len(bugs))
+	}
+}
+
+// TestImageCacheEADRDifferential repeats the differential check under
+// the extended persistence domain, whose instrumented run takes the
+// eADR snapshot paths.
+func TestImageCacheEADRDifferential(t *testing.T) {
+	mk := func() harness.Application { return btree.New(cfgSPT(btree.BugCountOutsideTx)) }
+	w := smallWorkload(7)
+	uncached, err := core.Analyze(mk(), w, core.Config{KeepWarnings: true, EADR: true, ImageCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := core.Analyze(mk(), w, core.Config{KeepWarnings: true, EADR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderReport(t, cached.Report), renderReport(t, uncached.Report); got != want {
+		t.Errorf("eADR cached report differs from uncached\n--- uncached ---\n%s\n--- cached ---\n%s", want, got)
+	}
+	if cached.Recoveries != uncached.Recoveries || cached.EngineEvents != uncached.EngineEvents {
+		t.Errorf("eADR counters diverge: recoveries %d/%d events %d/%d",
+			cached.Recoveries, uncached.Recoveries, cached.EngineEvents, uncached.EngineEvents)
+	}
+}
+
+// TestImageCacheStackModeDifferential covers the stack-mode campaign's
+// cachedCheck call site.
+func TestImageCacheStackModeDifferential(t *testing.T) {
+	app, _ := imagedup.New("imagedup-broken")
+	w := smallWorkload(5)
+	uncached, err := core.Analyze(app, w, core.Config{StackMode: true, DisableTraceAnalysis: true, ImageCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, _ := imagedup.New("imagedup-broken")
+	cached, err := core.Analyze(app2, w, core.Config{StackMode: true, DisableTraceAnalysis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderReport(t, cached.Report), renderReport(t, uncached.Report); got != want {
+		t.Errorf("stack-mode cached report differs from uncached\n--- uncached ---\n%s\n--- cached ---\n%s", want, got)
+	}
+	if cached.ImageCacheHits == 0 {
+		t.Error("stack-mode campaign on imagedup-broken produced no cache hits")
+	}
+	if cached.ImageCacheHits+cached.ImageCacheMisses != cached.Recoveries {
+		t.Errorf("stack-mode cache traffic %d+%d does not account for %d recoveries",
+			cached.ImageCacheHits, cached.ImageCacheMisses, cached.Recoveries)
+	}
+}

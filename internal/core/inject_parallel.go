@@ -35,7 +35,8 @@ import (
 // cfg.Workers goroutines and merges the outcomes deterministically. It
 // returns whether the deadline expired before every leaf was consumed.
 func injectCounterParallel(app harness.Application, w workload.Workload, leaves []*fpt.Leaf,
-	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, sb sandboxCfg) (timedOut bool) {
+	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, sb sandboxCfg,
+	cache *imageCache) (timedOut bool) {
 
 	n := len(leaves)
 	workers := cfg.Workers
@@ -69,7 +70,7 @@ func injectCounterParallel(app harness.Application, w workload.Workload, leaves 
 					close(done[i])
 					return
 				}
-				outcomes[i] = replayLeafWithRetry(app, w, leaves[i], stacks, sb)
+				outcomes[i] = replayLeafWithRetry(app, w, leaves[i], stacks, sb, cache)
 				close(done[i])
 			}
 		}()

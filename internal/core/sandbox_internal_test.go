@@ -68,7 +68,7 @@ func TestReplayHonoursDeadlineMidReplay(t *testing.T) {
 		deadline: time.Now().Add(100 * time.Millisecond),
 	}
 	start := time.Now()
-	out := replayLeaf(app, w, leaf, stacks, sb)
+	out := replayLeaf(app, w, leaf, stacks, sb, nil)
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Fatalf("replay ran %s past a 100ms deadline", elapsed)
 	}
@@ -126,7 +126,7 @@ func TestLeafRetryRecoversTransientFailure(t *testing.T) {
 	// actually exercised (early leaves crash during Setup, before Run).
 	leaf := leaves[len(leaves)-1]
 	flaky := &flakyApp{Application: testTarget(), failures: 1}
-	out := replayLeafWithRetry(flaky, w, leaf, stacks, Config{}.sandbox(time.Time{}))
+	out := replayLeafWithRetry(flaky, w, leaf, stacks, Config{}.sandbox(time.Time{}), nil)
 	if out.retries != 1 {
 		t.Errorf("retries = %d, want 1", out.retries)
 	}

@@ -194,3 +194,30 @@ func ResetSandboxCounters() {
 	sandboxTargetHangs.Store(0)
 	sandboxRecoveryHangs.Store(0)
 }
+
+// Crash-image verdict-cache counters. Every analysis folds its campaign
+// cache traffic in here so harnesses and the dedup benches can observe
+// process-wide how many recovery runs the cache elided.
+var (
+	imageCacheHits   atomic.Int64
+	imageCacheMisses atomic.Int64
+)
+
+// RecordImageCache accumulates one analysis run's verdict-cache
+// traffic. Safe for concurrent runs.
+func RecordImageCache(hits, misses int) {
+	imageCacheHits.Add(int64(hits))
+	imageCacheMisses.Add(int64(misses))
+}
+
+// ImageCacheCounters returns the process-wide verdict-cache totals
+// recorded since the last reset.
+func ImageCacheCounters() (hits, misses int) {
+	return int(imageCacheHits.Load()), int(imageCacheMisses.Load())
+}
+
+// ResetImageCacheCounters zeroes the verdict-cache totals.
+func ResetImageCacheCounters() {
+	imageCacheHits.Store(0)
+	imageCacheMisses.Store(0)
+}

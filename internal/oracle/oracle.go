@@ -101,6 +101,14 @@ type Outcome struct {
 // Consistent reports whether recovery accepted the state.
 func (o Outcome) Consistent() bool { return o.Verdict == Consistent }
 
+// Detached returns a copy safe to retain indefinitely (e.g. in the
+// crash-image verdict cache): the post-recovery Engine is stripped so a
+// memoised verdict never pins a full pool.
+func (o Outcome) Detached() Outcome {
+	o.Engine = nil
+	return o
+}
+
 // Describe renders the outcome for bug reports. Hung outcomes are
 // described from the configured bounds only, never from measured time,
 // so reports stay byte-identical across runs and worker counts.

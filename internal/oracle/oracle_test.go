@@ -73,9 +73,9 @@ func TestCrashedOutcomeCapturesTrace(t *testing.T) {
 
 func TestRecoveryCannotMutateSourceImage(t *testing.T) {
 	src := img()
-	before := src.Data[0]
+	before := src.Bytes()[0]
 	_ = oracle.Check(&fakeApp{mode: 0}, src)
-	if src.Data[0] != before {
+	if src.Bytes()[0] != before {
 		t.Fatal("oracle mutated the crash image")
 	}
 }

@@ -7,16 +7,16 @@ func TestEADRStoresDurableWithoutFlush(t *testing.T) {
 	e.Store64(0, 7)
 	e.NTStore64(64, 9)
 	img := e.MediumSnapshot()
-	if le64(img.Data[0:]) != 7 || le64(img.Data[64:]) != 9 {
+	if le64(img.Bytes()[0:]) != 7 || le64(img.Bytes()[64:]) != 9 {
 		t.Fatalf("eADR snapshot lost visible stores: %d %d",
-			le64(img.Data[0:]), le64(img.Data[64:]))
+			le64(img.Bytes()[0:]), le64(img.Bytes()[64:]))
 	}
 }
 
 func TestADRSnapshotStillStrict(t *testing.T) {
 	e := NewEngine(Options{PoolSize: 4096})
 	e.Store64(0, 7)
-	if got := le64(e.MediumSnapshot().Data[0:]); got != 0 {
+	if got := le64(e.MediumSnapshot().Bytes()[0:]); got != 0 {
 		t.Fatalf("ADR snapshot exposed an unflushed store: %d", got)
 	}
 }
@@ -74,8 +74,8 @@ func TestCrashAtMatchesHookInjection(t *testing.T) {
 		return e.PrefixImage()
 	}
 	a, b := run(true), run(false)
-	for i := range a.Data {
-		if a.Data[i] != b.Data[i] {
+	for i := range a.Bytes() {
+		if a.Bytes()[i] != b.Bytes()[i] {
 			t.Fatalf("images diverge at byte %d", i)
 		}
 	}

@@ -45,6 +45,16 @@ type Engine struct {
 	stats  Stats
 	// evictable caches the keys of lines for seeded eviction.
 	evictKeys []uint64
+
+	// snapBase is the shared immutable base of the last materialised
+	// snapshot; snapDirty records the line bases persisted to the
+	// medium since it was taken (see dirty.go and mediumImage).
+	snapBase  []byte
+	snapDirty map[uint64]struct{}
+	// mediumHash is the rolling XOR fold of per-line content hashes
+	// over the medium, maintained incrementally at each line write so
+	// image content keys never require a full-pool scan.
+	mediumHash uint64
 }
 
 // NewEngine creates an engine over a zeroed pool.
@@ -63,9 +73,13 @@ func NewEngine(opts Options) *Engine {
 // The image is copied.
 func NewEngineFromImage(opts Options, img *Image) *Engine {
 	o := opts
-	o.PoolSize = len(img.Data)
+	o.PoolSize = img.Len()
 	e := NewEngine(o)
-	copy(e.medium, img.Data)
+	img.CopyInto(e.medium)
+	// Seed the rolling hash from the image so this engine's own
+	// snapshots stay hash-tracked; engine-produced images carry the
+	// hash already, making this O(1) on the oracle path.
+	e.mediumHash = img.Hash()
 	return e
 }
 
@@ -170,11 +184,7 @@ func (e *Engine) lineView(base uint64) [CacheLineSize]byte {
 		if p.base != base {
 			continue
 		}
-		for b := 0; b < CacheLineSize; b++ {
-			if p.dirty&(1<<uint(b)) != 0 {
-				buf[b] = p.data[b]
-			}
-		}
+		applyMasked(buf[:], p.data[:], p.dirty)
 	}
 	return buf
 }
@@ -210,9 +220,7 @@ func (e *Engine) applyStore(addr uint64, data []byte) {
 		ln := e.lineFor(addr)
 		off := addr - ln.base
 		n := copy(ln.data[off:], data)
-		for i := 0; i < n; i++ {
-			ln.dirty |= 1 << (off + uint64(i))
-		}
+		ln.dirty |= storeMask(off, n)
 		addr += uint64(n)
 		data = data[n:]
 	}
@@ -265,9 +273,7 @@ func (e *Engine) NTStore(addr uint64, data []byte) {
 			}
 		}
 		copy(p.data[off:], data[:n])
-		for i := 0; i < n; i++ {
-			p.dirty |= 1 << (off + uint64(i))
-		}
+		p.dirty |= storeMask(off, n)
 		if ln := e.lines[base]; ln != nil {
 			copy(ln.data[off:], data[:n])
 		}
@@ -460,22 +466,18 @@ func (e *Engine) drain() {
 }
 
 func (e *Engine) applyPending(p *pending) {
-	for i := 0; i < CacheLineSize; i++ {
-		if p.dirty&(1<<uint(i)) != 0 {
-			e.medium[p.base+uint64(i)] = p.data[i]
-		}
-	}
+	e.beginMediumWrite(p.base)
+	applyMasked(e.medium[p.base:p.base+CacheLineSize], p.data[:], p.dirty)
+	e.endMediumWrite(p.base)
 }
 
 func (e *Engine) writeBack(ln *line) {
 	if ln.dirty == 0 {
 		return
 	}
-	for i := 0; i < CacheLineSize; i++ {
-		if ln.dirty&(1<<uint(i)) != 0 {
-			e.medium[ln.base+uint64(i)] = ln.data[i]
-		}
-	}
+	e.beginMediumWrite(ln.base)
+	applyMasked(e.medium[ln.base:ln.base+CacheLineSize], ln.data[:], ln.dirty)
+	e.endMediumWrite(ln.base)
 	ln.dirty = 0
 }
 

@@ -13,7 +13,7 @@ func newTestEngine(size int) *Engine {
 func TestStoreIsVolatileUntilFlushed(t *testing.T) {
 	e := newTestEngine(4096)
 	e.Store64(128, 0xdeadbeef)
-	if got := e.MediumSnapshot().Data[128]; got != 0 {
+	if got := e.MediumSnapshot().Bytes()[128]; got != 0 {
 		t.Fatalf("store reached medium without flush: %#x", got)
 	}
 	if got := e.Load64(128); got != 0xdeadbeef {
@@ -26,7 +26,7 @@ func TestCLFlushPersistsSynchronously(t *testing.T) {
 	e.Store64(128, 42)
 	e.CLFlush(128)
 	img := e.MediumSnapshot()
-	if got := le64(img.Data[128:]); got != 42 {
+	if got := le64(img.Bytes()[128:]); got != 42 {
 		t.Fatalf("clflush did not persist: %d", got)
 	}
 }
@@ -35,14 +35,14 @@ func TestCLWBRequiresFence(t *testing.T) {
 	e := newTestEngine(4096)
 	e.Store64(128, 42)
 	e.CLWB(128)
-	if got := le64(e.MediumSnapshot().Data[128:]); got != 0 {
+	if got := le64(e.MediumSnapshot().Bytes()[128:]); got != 0 {
 		t.Fatalf("clwb persisted before fence: %d", got)
 	}
 	if e.PendingCount() != 1 {
 		t.Fatalf("pending count = %d, want 1", e.PendingCount())
 	}
 	e.SFence()
-	if got := le64(e.MediumSnapshot().Data[128:]); got != 42 {
+	if got := le64(e.MediumSnapshot().Bytes()[128:]); got != 42 {
 		t.Fatalf("fence did not drain clwb: %d", got)
 	}
 	if e.PendingCount() != 0 {
@@ -58,7 +58,7 @@ func TestCLFlushOptInvalidatesLine(t *testing.T) {
 		t.Fatal("clflushopt left line cached")
 	}
 	e.SFence()
-	if got := le64(e.MediumSnapshot().Data[128:]); got != 42 {
+	if got := le64(e.MediumSnapshot().Bytes()[128:]); got != 42 {
 		t.Fatalf("clflushopt+sfence did not persist: %d", got)
 	}
 }
@@ -80,11 +80,11 @@ func TestCLWBKeepsLineCached(t *testing.T) {
 func TestNTStoreRequiresFence(t *testing.T) {
 	e := newTestEngine(4096)
 	e.NTStore64(256, 7)
-	if got := le64(e.MediumSnapshot().Data[256:]); got != 0 {
+	if got := le64(e.MediumSnapshot().Bytes()[256:]); got != 0 {
 		t.Fatalf("ntstore persisted before fence: %d", got)
 	}
 	e.SFence()
-	if got := le64(e.MediumSnapshot().Data[256:]); got != 7 {
+	if got := le64(e.MediumSnapshot().Bytes()[256:]); got != 7 {
 		t.Fatalf("ntstore not durable after fence: %d", got)
 	}
 }
@@ -99,9 +99,9 @@ func TestNTStoreCoherentWithCache(t *testing.T) {
 	e.CLWB(256)
 	e.SFence()
 	img := e.MediumSnapshot()
-	if le64(img.Data[256:]) != 1 || le64(img.Data[264:]) != 2 {
+	if le64(img.Bytes()[256:]) != 1 || le64(img.Bytes()[264:]) != 2 {
 		t.Fatalf("mixed store/ntstore line persisted wrong: %d %d",
-			le64(img.Data[256:]), le64(img.Data[264:]))
+			le64(img.Bytes()[256:]), le64(img.Bytes()[264:]))
 	}
 }
 
@@ -112,11 +112,11 @@ func TestRMWHasFenceSemantics(t *testing.T) {
 	if !e.CAS64(512, 0, 9) {
 		t.Fatal("CAS failed")
 	}
-	if got := le64(e.MediumSnapshot().Data[128:]); got != 42 {
+	if got := le64(e.MediumSnapshot().Bytes()[128:]); got != 42 {
 		t.Fatalf("RMW did not drain pending flushes: %d", got)
 	}
 	// The CAS'd value itself is cached, not durable.
-	if got := le64(e.MediumSnapshot().Data[512:]); got != 0 {
+	if got := le64(e.MediumSnapshot().Bytes()[512:]); got != 0 {
 		t.Fatalf("RMW store durable without flush: %d", got)
 	}
 	if got := e.Load64(512); got != 9 {
@@ -151,16 +151,16 @@ func TestPrefixImageAppliesEverything(t *testing.T) {
 	e.CLFlush(512) // fully durable
 	img := e.PrefixImage()
 	for i, want := range map[int]uint64{0: 1, 128: 2, 256: 3, 512: 4} {
-		if got := le64(img.Data[i:]); got != want {
+		if got := le64(img.Bytes()[i:]); got != want {
 			t.Errorf("prefix image at %d = %d, want %d", i, got, want)
 		}
 	}
 	// Strict image should only have the clflushed value.
 	strict := e.MediumSnapshot()
-	if le64(strict.Data[0:]) != 0 || le64(strict.Data[128:]) != 0 || le64(strict.Data[256:]) != 0 {
+	if le64(strict.Bytes()[0:]) != 0 || le64(strict.Bytes()[128:]) != 0 || le64(strict.Bytes()[256:]) != 0 {
 		t.Error("strict image exposes unfenced data")
 	}
-	if le64(strict.Data[512:]) != 4 {
+	if le64(strict.Bytes()[512:]) != 4 {
 		t.Error("strict image misses clflushed data")
 	}
 }
@@ -172,8 +172,8 @@ func TestFencedImageSubsets(t *testing.T) {
 	e.Store64(128, 2)
 	e.CLWB(128)
 	img := e.FencedImage([]bool{true, false})
-	if le64(img.Data[0:]) != 1 || le64(img.Data[128:]) != 0 {
-		t.Fatalf("subset image wrong: %d %d", le64(img.Data[0:]), le64(img.Data[128:]))
+	if le64(img.Bytes()[0:]) != 1 || le64(img.Bytes()[128:]) != 0 {
+		t.Fatalf("subset image wrong: %d %d", le64(img.Bytes()[0:]), le64(img.Bytes()[128:]))
 	}
 }
 
@@ -188,7 +188,7 @@ func TestSeededEvictionPersistsWithoutFlush(t *testing.T) {
 	img := e.MediumSnapshot()
 	persisted := 0
 	for i := uint64(0); i < 512; i++ {
-		if le64(img.Data[i*64:]) == i+1 {
+		if le64(img.Bytes()[i*64:]) == i+1 {
 			persisted++
 		}
 	}
@@ -208,7 +208,7 @@ func TestEvictionIsDeterministicPerSeed(t *testing.T) {
 		}
 		return e.MediumSnapshot()
 	}
-	if !bytes.Equal(run().Data, run().Data) {
+	if !bytes.Equal(run().Bytes(), run().Bytes()) {
 		t.Fatal("same seed produced different eviction outcomes")
 	}
 }
@@ -281,7 +281,7 @@ func TestHookCrashLeavesEventUnapplied(t *testing.T) {
 	if e.PendingCount() != 0 {
 		t.Fatal("crashed flush still enqueued")
 	}
-	if got := le64(e.MediumSnapshot().Data[0:]); got != 0 {
+	if got := le64(e.MediumSnapshot().Bytes()[0:]); got != 0 {
 		t.Fatalf("crashed flush persisted data: %d", got)
 	}
 }
@@ -305,7 +305,7 @@ func TestPropertyFlushedStoresAreDurable(t *testing.T) {
 		img := e.MediumSnapshot()
 		for i := range words {
 			addr := (uint64(i) % n) * 8
-			if e.Load64(addr) != le64(img.Data[addr:]) {
+			if e.Load64(addr) != le64(img.Bytes()[addr:]) {
 				return false
 			}
 		}
@@ -345,7 +345,7 @@ func TestPropertyPrefixImageEqualsVolatileView(t *testing.T) {
 		img := e.PrefixImage()
 		view := make([]byte, e.Size())
 		e.readInto(view, 0)
-		return bytes.Equal(img.Data, view)
+		return bytes.Equal(img.Bytes(), view)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -367,7 +367,7 @@ func TestPropertyUnflushedStoresNeverDurable(t *testing.T) {
 		}
 		img := e.MediumSnapshot()
 		for addr := range seen {
-			if le64(img.Data[addr:]) != 0 {
+			if le64(img.Bytes()[addr:]) != 0 {
 				return false
 			}
 		}
@@ -393,7 +393,7 @@ func TestNewEngineFromImage(t *testing.T) {
 	// Restored engine is independent of the image.
 	e2.Store64(64, 12)
 	e2.CLFlush(64)
-	if got := le64(img.Data[64:]); got != 11 {
+	if got := le64(img.Bytes()[64:]); got != 11 {
 		t.Fatalf("engine mutated source image: %d", got)
 	}
 }

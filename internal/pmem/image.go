@@ -1,17 +1,98 @@
 package pmem
 
-// Image is a durable snapshot of pool contents — the state an application
-// would observe after a restart.
+// Image is a durable snapshot of pool contents — the state an
+// application would observe after a restart.
+//
+// Images are copy-on-write: an engine-produced image is a shared,
+// immutable full-pool base plus a line-granular overlay of the bytes
+// that diverge from it, so consecutive snapshots cost O(changed lines)
+// rather than O(pool). Every engine-produced image also carries its
+// content hash, maintained incrementally by the engine (dirty.go), so
+// identity checks never rescan the pool.
+//
+// Engine-produced images must be treated as read-only: their base is
+// shared with the engine and with sibling snapshots. Callers that need
+// a mutable buffer (the trace replay cursor, exhaustive-exploration
+// baselines) take ownership through Clone or NewImage, which always
+// yield a private flat copy.
 type Image struct {
-	// Data is the full pool contents.
-	Data []byte
+	size int
+	// base is the shared full-pool snapshot; overlay holds the lines
+	// that diverge from it. For flat images (Clone, NewImage) base is
+	// nil and flat owns the contents.
+	base    []byte
+	overlay map[uint64][]byte
+	// flat caches the materialised contents; it aliases base when the
+	// overlay is empty.
+	flat []byte
+	// hash is the content hash (ContentHash of the materialised
+	// bytes); hashed reports whether the producer computed it.
+	hash   uint64
+	hashed bool
 }
 
-// Clone returns a deep copy of the image.
+// NewImage builds a flat image from raw pool contents. The data is
+// copied; the caller keeps ownership of its slice.
+func NewImage(data []byte) *Image {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return &Image{size: len(cp), flat: cp}
+}
+
+// Len returns the pool size in bytes.
+func (img *Image) Len() int { return img.size }
+
+// Bytes returns the full materialised contents. The slice is cached and
+// may alias the shared snapshot base: callers must not modify it unless
+// they own the image (Clone, NewImage).
+func (img *Image) Bytes() []byte {
+	if img.flat != nil {
+		return img.flat
+	}
+	if len(img.overlay) == 0 {
+		img.flat = img.base
+		return img.flat
+	}
+	flat := make([]byte, img.size)
+	copy(flat, img.base)
+	for base, ln := range img.overlay {
+		copy(flat[base:], ln)
+	}
+	img.flat = flat
+	return img.flat
+}
+
+// CopyInto materialises the image into dst (len(dst) >= Len()) without
+// allocating or caching a flat copy.
+func (img *Image) CopyInto(dst []byte) {
+	switch {
+	case img.flat != nil:
+		copy(dst, img.flat)
+	default:
+		copy(dst, img.base)
+		for base, ln := range img.overlay {
+			copy(dst[base:], ln)
+		}
+	}
+}
+
+// Hash returns the image's content hash — the dedup identity used by
+// the crash-image verdict cache. Engine-produced images carry it
+// already; for hand-built images it is computed (and memoised) on first
+// use, so call it only once the image is quiescent.
+func (img *Image) Hash() uint64 {
+	if !img.hashed {
+		img.hash = ContentHash(img.Bytes())
+		img.hashed = true
+	}
+	return img.hash
+}
+
+// Clone returns a private flat deep copy that the caller may modify.
 func (img *Image) Clone() *Image {
-	cp := make([]byte, len(img.Data))
-	copy(cp, img.Data)
-	return &Image{Data: cp}
+	cp := make([]byte, img.size)
+	img.CopyInto(cp)
+	return &Image{size: img.size, flat: cp}
 }
 
 // MediumSnapshot returns the strictly durable state. Under the classic
@@ -23,42 +104,65 @@ func (e *Engine) MediumSnapshot() *Image {
 	if e.opts.EADR {
 		return e.PrefixImage()
 	}
-	return e.mediumCopy()
+	return e.mediumImage()
 }
 
-// mediumCopy copies the raw medium contents, ignoring the persistence
-// domain.
-func (e *Engine) mediumCopy() *Image {
-	img := &Image{Data: make([]byte, len(e.medium))}
-	copy(img.Data, e.medium)
+// snapRebaseDivisor triggers a fresh snapshot base once the
+// since-snapshot overlay would exceed this fraction of the pool:
+// overlays larger than that stop being cheaper than a rebase, and the
+// old base only pins dead memory.
+const snapRebaseDivisor = 4
+
+// mediumImage snapshots the raw medium, ignoring the persistence
+// domain. The first call (and any call after heavy churn) materialises
+// a full copy as the shared base; subsequent calls reuse it and overlay
+// only the lines persisted since — O(changed lines).
+func (e *Engine) mediumImage() *Image {
+	lines := len(e.medium) / CacheLineSize
+	if e.snapBase == nil || len(e.snapDirty)*snapRebaseDivisor > lines {
+		base := make([]byte, len(e.medium))
+		copy(base, e.medium)
+		e.snapBase = base
+		e.snapDirty = make(map[uint64]struct{})
+		return &Image{size: len(e.medium), base: base, hash: e.mediumHash, hashed: true}
+	}
+	img := &Image{size: len(e.medium), base: e.snapBase, hash: e.mediumHash, hashed: true}
+	if len(e.snapDirty) > 0 {
+		img.overlay = make(map[uint64][]byte, len(e.snapDirty))
+		buf := make([]byte, len(e.snapDirty)*CacheLineSize)
+		for base := range e.snapDirty {
+			ln := buf[:CacheLineSize:CacheLineSize]
+			buf = buf[CacheLineSize:]
+			copy(ln, e.medium[base:base+CacheLineSize])
+			img.overlay[base] = ln
+		}
+	}
 	return img
 }
 
 // PrefixImage returns the "graceful crash" image of §4.1: every store
-// issued so far is persisted, respecting program order. It is built from
-// the medium plus all pending write-backs plus all dirty cache lines.
-// This is the deterministic post-failure state Mumak's fault injector
-// hands to the recovery procedure.
+// issued so far is persisted, respecting program order. It is built
+// from the medium snapshot plus an overlay holding the durable view of
+// every line with pending write-backs or dirty cached bytes. This is
+// the deterministic post-failure state Mumak's fault injector hands to
+// the recovery procedure.
 func (e *Engine) PrefixImage() *Image {
-	img := e.mediumCopy()
-	for i := range e.queue {
-		p := &e.queue[i]
-		for b := 0; b < CacheLineSize; b++ {
-			if p.dirty&(1<<uint(b)) != 0 {
-				img.Data[p.base+uint64(b)] = p.data[b]
-			}
-		}
+	img := e.mediumImage()
+	bases := e.durableOverlayBases()
+	if len(bases) == 0 {
+		return img
 	}
-	for _, ln := range e.lines {
-		if ln.dirty == 0 {
-			continue
-		}
-		for b := 0; b < CacheLineSize; b++ {
-			if ln.dirty&(1<<uint(b)) != 0 {
-				img.Data[ln.base+uint64(b)] = ln.data[b]
-			}
-		}
+	if img.overlay == nil {
+		img.overlay = make(map[uint64][]byte, len(bases))
 	}
+	h := img.hash
+	for _, base := range bases {
+		view := e.durableLineView(base)
+		h ^= lineContrib(base, e.medium[base:base+CacheLineSize])
+		h ^= lineContrib(base, view)
+		img.overlay[base] = view
+	}
+	img.hash = h
 	return img
 }
 
@@ -71,17 +175,36 @@ func (e *Engine) FencedImage(keep []bool) *Image {
 	if len(keep) != len(e.queue) {
 		panic("pmem: FencedImage selector length mismatch")
 	}
-	img := e.mediumCopy()
+	img := e.mediumImage()
+	var touched map[uint64][]byte
 	for i := range e.queue {
 		if !keep[i] {
 			continue
 		}
 		p := &e.queue[i]
-		for b := 0; b < CacheLineSize; b++ {
-			if p.dirty&(1<<uint(b)) != 0 {
-				img.Data[p.base+uint64(b)] = p.data[b]
-			}
+		if touched == nil {
+			touched = make(map[uint64][]byte)
 		}
+		ln := touched[p.base]
+		if ln == nil {
+			ln = make([]byte, CacheLineSize)
+			copy(ln, e.medium[p.base:p.base+CacheLineSize])
+			touched[p.base] = ln
+		}
+		applyMasked(ln, p.data[:], p.dirty)
 	}
+	if len(touched) == 0 {
+		return img
+	}
+	if img.overlay == nil {
+		img.overlay = make(map[uint64][]byte, len(touched))
+	}
+	h := img.hash
+	for base, ln := range touched {
+		h ^= lineContrib(base, e.medium[base:base+CacheLineSize])
+		h ^= lineContrib(base, ln)
+		img.overlay[base] = ln
+	}
+	img.hash = h
 	return img
 }

@@ -122,21 +122,31 @@ func (t *Table) classify(pc uintptr) uint8 {
 	return c
 }
 
+// pcBufPool recycles the capture PC buffers. The buffer escapes through
+// trim/Intern, so a stack array would be heap-allocated on every
+// Capture — on the stack-mode hot path, once per PM instruction.
+// Intern copies before storing, so returning the buffer is safe.
+var pcBufPool = sync.Pool{New: func() any { return new([maxDepth]uintptr) }}
+
 // Capture records the calling goroutine's stack, trims instrumentation
 // frames from the top and harness frames from the bottom, and returns the
 // interned ID. skip has the meaning of runtime.Callers' skip relative to
 // Capture's caller (0 includes the caller itself).
 func (t *Table) Capture(skip int) ID {
-	var pcs [maxDepth]uintptr
-	n := runtime.Callers(skip+2, pcs[:])
+	buf := pcBufPool.Get().(*[maxDepth]uintptr)
+	n := runtime.Callers(skip+2, buf[:])
 	if n == 0 {
+		pcBufPool.Put(buf)
 		return NoID
 	}
-	trimmed := t.trim(pcs[:n])
+	trimmed := t.trim(buf[:n])
 	if len(trimmed) == 0 {
+		pcBufPool.Put(buf)
 		return NoID
 	}
-	return t.Intern(trimmed)
+	id := t.Intern(trimmed)
+	pcBufPool.Put(buf)
+	return id
 }
 
 // trim removes leading instrumentation frames and trailing harness

@@ -190,3 +190,20 @@ func TestTableConcurrentUse(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Steady-state Capture of an already-interned stack must not allocate:
+// the PC buffer is pooled and Intern's fast path only reads. One warm-up
+// capture interns the path (and seeds the pool and PC-class cache)
+// before measuring.
+func TestCaptureSteadyStateDoesNotAllocate(t *testing.T) {
+	tbl := NewTable()
+	captureViaHelper(tbl)
+	allocs := testing.AllocsPerRun(100, func() {
+		if captureViaHelper(tbl) == NoID {
+			t.Fatal("capture returned NoID")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Capture allocates %.1f objects per call, want 0", allocs)
+	}
+}

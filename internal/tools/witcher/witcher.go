@@ -180,7 +180,7 @@ func (t *Tool) Analyze(app harness.Application, w workload.Workload, cfg tools.C
 			}
 			return i != c.unitIdx
 		})
-		imgBytes.Add(uint64(len(img.Data)))
+		imgBytes.Add(uint64(img.Len()))
 		if cfg.MemBudget > 0 && imgBytes.Load() > cfg.MemBudget {
 			res.OOM = true
 			break

@@ -138,7 +138,8 @@ func (c *Cursor) applyUnits(units []Unit) {
 }
 
 func (c *Cursor) applyUnit(u Unit) {
-	copy(c.certain.Data[u.Addr:], u.Data)
+	// The cursor owns certain (a Clone), so mutating its bytes is safe.
+	copy(c.certain.Bytes()[u.Addr:], u.Data)
 }
 
 // SeekTo advances the cursor until Pos == n (or the trace ends).
@@ -177,7 +178,7 @@ func (c *Cursor) Materialize(uncertain []Unit, keep func(i int) bool) *pmem.Imag
 	img := c.certain.Clone()
 	for i, u := range uncertain {
 		if keep(i) {
-			copy(img.Data[u.Addr:], u.Data)
+			copy(img.Bytes()[u.Addr:], u.Data)
 		}
 	}
 	return img

@@ -107,10 +107,10 @@ func TestCursorCertainTracksFencedData(t *testing.T) {
 	c := NewCursor(tr, base)
 	c.SeekTo(tr.Len())
 	img := c.Certain()
-	if got := le64(img.Data[0:]); got != 1 {
+	if got := le64(img.Bytes()[0:]); got != 1 {
 		t.Errorf("fenced store not certain: %d", got)
 	}
-	if got := le64(img.Data[64:]); got != 0 {
+	if got := le64(img.Bytes()[64:]); got != 0 {
 		t.Errorf("unflushed store became certain: %d", got)
 	}
 	unc := c.Uncertain()
@@ -126,7 +126,7 @@ func TestCursorCLFlushIsSynchronous(t *testing.T) {
 	})
 	c := NewCursor(tr, base)
 	c.SeekTo(tr.Len())
-	if got := le64(c.Certain().Data[0:]); got != 7 {
+	if got := le64(c.Certain().Bytes()[0:]); got != 7 {
 		t.Errorf("clflush not certain: %d", got)
 	}
 	if len(c.Uncertain()) != 0 {
@@ -149,8 +149,8 @@ func TestCursorMaterializeSubset(t *testing.T) {
 		t.Fatalf("uncertain = %+v, want 2 units", unc)
 	}
 	img := c.Materialize(unc, func(i int) bool { return i == 1 })
-	if le64(img.Data[0:]) != 0 || le64(img.Data[64:]) != 2 {
-		t.Errorf("subset image: %d %d", le64(img.Data[0:]), le64(img.Data[64:]))
+	if le64(img.Bytes()[0:]) != 0 || le64(img.Bytes()[64:]) != 2 {
+		t.Errorf("subset image: %d %d", le64(img.Bytes()[0:]), le64(img.Bytes()[64:]))
 	}
 }
 
@@ -166,7 +166,7 @@ func TestCursorOverwriteOrder(t *testing.T) {
 		t.Fatalf("uncertain = %+v", unc)
 	}
 	img := c.PrefixImage()
-	if got := le64(img.Data[0:]); got != 2 {
+	if got := le64(img.Bytes()[0:]); got != 2 {
 		t.Errorf("prefix image lost overwrite order: %d", got)
 	}
 }
@@ -200,7 +200,7 @@ func TestPropertyCursorPrefixMatchesEngine(t *testing.T) {
 		}
 		c := NewCursor(&rec.T, base)
 		c.SeekTo(rec.T.Len())
-		return bytes.Equal(c.PrefixImage().Data, e.PrefixImage().Data)
+		return bytes.Equal(c.PrefixImage().Bytes(), e.PrefixImage().Bytes())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -235,7 +235,7 @@ func TestPropertyCertainConservative(t *testing.T) {
 		c.SeekTo(rec.T.Len())
 		certain := c.Certain()
 		medium := e.MediumSnapshot()
-		return bytes.Equal(certain.Data, medium.Data)
+		return bytes.Equal(certain.Bytes(), medium.Bytes())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -292,7 +292,7 @@ func TestTraceSerializeRoundTrip(t *testing.T) {
 	c1.SeekTo(tr.Len())
 	c2 := NewCursor(got, base)
 	c2.SeekTo(got.Len())
-	if !bytes.Equal(c1.PrefixImage().Data, c2.PrefixImage().Data) {
+	if !bytes.Equal(c1.PrefixImage().Bytes(), c2.PrefixImage().Bytes()) {
 		t.Fatal("restored trace replays differently")
 	}
 }
