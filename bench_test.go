@@ -280,6 +280,54 @@ func BenchmarkParallelInjection(b *testing.B) {
 	}
 }
 
+// BenchmarkStackInjectionParallel measures the injection-phase wall
+// clock of the stack-mode campaign as the worker pool widens. Since the
+// immutable-FPT refactor, stack mode fans its per-leaf targeted replays
+// across the same bounded worker pool counter mode uses; each replay is
+// independent (private engine, targeted injector, deterministic
+// workload), so the phase should scale with available cores. Alongside
+// inject_sec the bench reports utilization — worker busy time over
+// phase wall time — which shows the fan-out working even on hosts whose
+// core count caps the wall-clock speedup.
+func BenchmarkStackInjectionParallel(b *testing.B) {
+	targets := []struct {
+		name string
+		mk   func() harness.Application
+		w    workload.Workload
+	}{
+		{
+			name: "btree",
+			mk:   func() harness.Application { return btree.New(apps.Config{SPT: true, PoolSize: 4 << 20}) },
+			w:    workload.Generate(workload.Config{N: 1500, Seed: 42}),
+		},
+		{
+			name: "levelhash",
+			mk:   func() harness.Application { return levelhash.New(apps.Config{PoolSize: 4 << 20, WithRecovery: true}) },
+			w:    workload.Generate(workload.Config{N: 1500, Seed: 42}),
+		},
+	}
+	for _, tgt := range targets {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers-%d", tgt.name, workers), func(b *testing.B) {
+				var inject, busy time.Duration
+				for i := 0; i < b.N; i++ {
+					res, err := core.Analyze(tgt.mk(), tgt.w,
+						core.Config{StackMode: true, DisableTraceAnalysis: true, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					inject += res.InjectTime
+					busy += res.WorkerBusy
+				}
+				b.ReportMetric(inject.Seconds()/float64(b.N), "inject_sec")
+				if inject > 0 {
+					b.ReportMetric(float64(busy)/float64(inject), "utilization")
+				}
+			})
+		}
+	}
+}
+
 // --- Substrate microbenchmarks.
 
 func BenchmarkEngineStore64(b *testing.B) {

@@ -55,7 +55,7 @@ func main() {
 		eadr       = flag.Bool("eadr", false, "analyse under an eADR persistence domain (§4.3)")
 		storeGran  = flag.Bool("store-granularity", false, "inject at every store instead of persistency instructions (ablation)")
 		stackMode  = flag.Bool("stack-mode", false, "match failure points by call stack instead of instruction counter")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent fault-injection replays (counter mode only; 1 = serial)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent fault-injection replays, in counter and stack mode (1 = serial)")
 		budget     = flag.Duration("budget", 10*time.Minute, "analysis wall-clock budget (the paper uses 12h)")
 		seedBugs   = flag.String("seed-bugs", "", "comma-separated seeded bug IDs to plant (see internal/bugs)")
 		montageBug = flag.Bool("montage-buggy", false, "enable the two historical Montage bugs")
@@ -179,6 +179,10 @@ func main() {
 			res.ImageCacheHits, res.ImageCacheMisses,
 			100*float64(res.ImageCacheHits)/float64(lookups), res.ImageCacheEntries)
 	}
+	if res.CampaignWorkers > 1 && res.InjectTime > 0 {
+		fmt.Printf("campaign workers: %d (avg %.1f busy, claim contention %d)\n",
+			res.CampaignWorkers, float64(res.WorkerBusy)/float64(res.InjectTime), res.ClaimContention)
+	}
 	fmt.Printf("time: %s total (instrument %s, inject %s, trace analysis %s)\n",
 		res.Elapsed.Round(time.Millisecond), res.InstrumentTime.Round(time.Millisecond),
 		res.InjectTime.Round(time.Millisecond), res.AnalysisTime.Round(time.Millisecond))
@@ -191,8 +195,10 @@ func main() {
 }
 
 // saveArtifacts serialises the pipeline by-products: the failure point
-// tree (step 5 of Fig 1). Program counters are process-local, so the
-// artifacts document one analysis rather than seeding another process.
+// tree (step 5 of Fig 1), together with the campaign's claim state so a
+// restored tree knows which failure points were already explored.
+// Program counters are process-local, so the artifacts document one
+// analysis rather than seeding another process.
 func saveArtifacts(dir string, res *core.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -202,7 +208,7 @@ func saveArtifacts(dir string, res *core.Result) error {
 		return err
 	}
 	defer f.Close()
-	return res.Tree.Encode(f)
+	return res.Tree.Encode(f, res.Claims)
 }
 
 func parseVersion(s string) (pmdk.Version, error) {

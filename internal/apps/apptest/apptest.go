@@ -142,7 +142,7 @@ func probe(t *testing.T, mk func() harness.Application, w workload.Workload, sam
 	if sig != nil {
 		t.Fatal("clean run crashed without an injector")
 	}
-	leaves := tree.Unvisited()
+	leaves := tree.LeavesByICount()
 	if samples > 0 && len(leaves) > samples {
 		leaves = leaves[:samples]
 	}

@@ -64,11 +64,12 @@ type Config struct {
 	// StackMode makes the injector match call stacks instead of
 	// instruction counters, for non-deterministic targets (§5).
 	StackMode bool
-	// Workers bounds the number of concurrent counter-mode replays in
-	// the fault-injection campaign; 0 or 1 runs serially. Findings are
-	// merged in leaf first-occurrence order, so the report is identical
-	// for any worker count. Stack mode ignores the knob: its injector
-	// mutates the shared failure point tree and must run serially.
+	// Workers bounds the number of concurrent replays in the
+	// fault-injection campaign, in both counter and stack mode; 0 or 1
+	// runs serially. Replays are independent (the failure point tree is
+	// frozen before the campaign and traversal state lives in a
+	// ClaimSet), and findings are merged in leaf first-occurrence
+	// order, so the report is byte-identical for any worker count.
 	Workers int
 	// KeepWarnings retains §4.2 warnings in the report (they are
 	// always excluded from bug counts).
@@ -106,30 +107,51 @@ type Config struct {
 type Result struct {
 	// Report holds the merged findings.
 	Report *report.Report
-	// Tree is the failure point tree of the run.
+	// Tree is the failure point tree of the run, frozen once the
+	// injection campaign started.
 	Tree *fpt.Tree
+	// Claims is the injection campaign's traversal state over Tree:
+	// consumed failure points are claimed, unexplored ones (budget
+	// expiry, caps, aborts) are not. Nil when fault injection was
+	// disabled. Serialising the tree with these claims makes the
+	// campaign resumable.
+	Claims *fpt.ClaimSet
+	// CampaignWorkers is the worker count the injection campaign
+	// actually ran with (1 for a serial campaign; zero when fault
+	// injection was disabled).
+	CampaignWorkers int
+	// WorkerBusy sums the wall time campaign workers spent replaying;
+	// WorkerBusy/InjectTime is the campaign's average worker
+	// utilisation.
+	WorkerBusy time.Duration
+	// ClaimContention counts lost claim races observed by the
+	// campaign's claim set; zero means the lock-free traversal
+	// partitioned the leaves cleanly.
+	ClaimContention int
 	// TraceLen is the number of trace records analysed.
 	TraceLen int
 	// Injections is the number of faults injected.
 	Injections int
 	// Recoveries is the number of recovery-oracle invocations.
 	Recoveries int
-	// SkippedFailurePoints counts counter-mode failure points consumed
-	// without an injection: the replay errored or never reached the
-	// recorded instruction counter. A non-zero value means campaign
+	// SkippedFailurePoints counts failure points consumed without an
+	// injection: the replay errored, never reached the recorded
+	// instruction counter (counter mode) or never re-encountered the
+	// target call stack (stack mode). A non-zero value means campaign
 	// coverage is below one fault per unique failure point.
 	SkippedFailurePoints int
 	// InjectionAborted reports that the stack-mode campaign gave up
-	// after repeated replays failed without reaching any unvisited
-	// failure point.
+	// after too many consecutive failure points were consumed without
+	// an injection.
 	InjectionAborted bool
 	// InjectionErrors samples the errors behind skipped failure points
 	// and aborted campaigns (capped; SkippedFailurePoints is the full
 	// count).
 	InjectionErrors []string
 	// RetriedFailurePoints counts the extra replay attempts spent on
-	// counter-mode leaves whose first replay was consumed by a
-	// transient skip (errored replay, counter never reached).
+	// leaves whose first replay was consumed by a transient skip
+	// (errored replay, counter never reached, stack never
+	// re-encountered).
 	RetriedFailurePoints int
 	// TargetPanics counts executions the sandbox stopped because the
 	// target's own code panicked; each produced a TargetCrash finding.

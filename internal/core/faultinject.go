@@ -7,6 +7,7 @@ import (
 
 	"mumak/internal/fpt"
 	"mumak/internal/harness"
+	"mumak/internal/metrics"
 	"mumak/internal/oracle"
 	"mumak/internal/pmem"
 	"mumak/internal/report"
@@ -14,23 +15,27 @@ import (
 	"mumak/internal/workload"
 )
 
-// maxNoProgress bounds consecutive stack-mode iterations that make no
-// progress (the replay errors before any unvisited failure point fires).
-// With a deterministic target one such failure implies every retry fails
-// the same way, so a small bound suffices to avoid a livelock while
-// still tolerating the occasional non-deterministic hiccup stack mode
-// exists to serve.
+// maxNoProgress bounds consecutive stack-mode leaves consumed without an
+// injection (the replay errors, panics, hangs, or never re-encounters
+// the target call stack). With a deterministic target one such failure
+// usually implies every remaining replay fails the same way — stack mode
+// re-runs the whole workload per leaf, so grinding through thousands of
+// doomed replays would waste the entire budget. A small bound aborts the
+// campaign instead while still tolerating the occasional
+// non-deterministic hiccup stack mode exists to serve. Counter mode
+// keeps consuming: its replays are cheap (they stop at the recorded
+// counter) and skips there are honest per-leaf coverage accounting.
 const maxNoProgress = 3
 
 // maxInjectionErrors caps the error strings sampled into
 // Result.InjectionErrors; SkippedFailurePoints keeps the honest total.
 const maxInjectionErrors = 8
 
-// maxLeafRetries bounds the re-replays of a counter-mode leaf consumed
-// with a transient skip (an errored replay, or a counter never reached),
-// mirroring stack mode's maxNoProgress tolerance instead of giving up on
-// the first hiccup. Deterministic targets converge to the same skip, so
-// the bound costs at most two extra replays per genuinely dead leaf.
+// maxLeafRetries bounds the re-replays of a leaf consumed with a
+// transient skip (an errored replay, a counter never reached, a call
+// stack never re-encountered), instead of giving up on the first hiccup.
+// Deterministic targets converge to the same skip, so the bound costs at
+// most two extra replays per genuinely dead leaf.
 const maxLeafRetries = 2
 
 // retryBackoff is the base pause between leaf retries; attempt k waits
@@ -73,6 +78,28 @@ func (cfg Config) sandbox(deadline time.Time) sandboxCfg {
 		sb.timeout = DefaultRecoveryTimeout
 	}
 	return sb
+}
+
+// campaignMode bundles the per-mode replay parameters so one replay/
+// merge/driver implementation serves both injection modes.
+type campaignMode struct {
+	// stack selects call-stack matching (needs capture, tolerates
+	// non-determinism); false selects the §5 instruction-counter replay.
+	stack   bool
+	gran    fpt.Granularity
+	capture pmem.StackCapture
+}
+
+// campaignMode derives the injection mode from the configuration.
+func (cfg Config) campaignMode() campaignMode {
+	m := campaignMode{stack: cfg.StackMode, gran: cfg.Granularity, capture: pmem.CaptureNone}
+	if cfg.StackMode {
+		m.capture = pmem.CapturePersistency
+		if cfg.Granularity == fpt.GranStore {
+			m.capture = pmem.CaptureStores
+		}
+	}
+	return m
 }
 
 // execute runs one target execution under the campaign sandbox, or the
@@ -132,19 +159,26 @@ func hangDetail(during string, h *pmem.HangSignal) string {
 		during, h.Budget)
 }
 
-// injectAll visits every unvisited leaf of the failure point tree,
-// injecting one fault per unique failure point (steps 7-9 of Fig 1),
-// and reports every crash state the recovery oracle rejects. It returns
-// whether the deadline expired first.
+// replayDuring is the shared finding-phase label of both injection
+// modes: the panic/hang liveness wording is identical whichever mode
+// produced the finding.
+const replayDuring = "a fault-injection replay"
+
+// injectAll claims every pending leaf of the (frozen) failure point
+// tree, injecting one fault per unique failure point (steps 7-9 of
+// Fig 1), and reports every crash state the recovery oracle rejects. It
+// returns whether the deadline expired first.
 //
 // In the default counter mode the injector crashes at the leaf's
 // recorded first-occurrence instruction counter — the §5 optimisation
-// that works because the target is deterministic. Counter-mode replays
-// are independent (each constructs a private engine), so the campaign
-// fans out across cfg.Workers goroutines when asked to. In stack mode
-// it re-matches call stacks, which needs stack capture on every replay
-// but tolerates non-determinism; the stack-mode injector mutates the
-// shared tree, so that campaign always runs serially.
+// that works because the target is deterministic. In stack mode each
+// replay targets one leaf and crashes at the first failure-point event
+// whose call stack matches it, which needs stack capture on every replay
+// but tolerates non-determinism. Either way replays are independent
+// (each constructs a private engine and a private injector over the
+// immutable tree), so both campaigns fan out across cfg.Workers
+// goroutines when asked to; traversal state lives in the ClaimSet that
+// hands leaves out, published as Result.Claims.
 //
 // Every replay and recovery runs inside the sandbox: a foreign panic or
 // a watchdog kill becomes a TargetCrash or RecoveryHang finding instead
@@ -155,32 +189,46 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	sb := cfg.sandbox(deadline)
 	// One verdict cache per campaign: application, workload and recovery
 	// configuration are fixed here, so entries are keyed by image
-	// identity alone. The cache is shared across parallel workers.
+	// identity alone. The cache is shared across parallel workers in
+	// both modes.
 	cache := newImageCache(cfg.imageCacheCapacity())
 	defer func() {
 		if cache != nil {
 			res.ImageCacheEntries = cache.Len()
 		}
 	}()
-	if cfg.StackMode {
-		return injectStackSerial(app, w, tree, cfg, rep, res, sb, cache)
+
+	tree.Freeze()
+	cs := fpt.NewClaimSet(tree)
+	res.Claims = cs
+	mode := cfg.campaignMode()
+	start := time.Now()
+	defer func() {
+		res.ClaimContention = cs.Contention()
+		metrics.RecordCampaign(mode.stack, res.CampaignWorkers, res.Injections,
+			cs.Contention(), res.WorkerBusy, time.Since(start))
+	}()
+
+	workers := cfg.Workers
+	if workers < 1 || len(cs.Pending()) <= 1 {
+		workers = 1
 	}
-	leaves := tree.Unvisited()
-	if cfg.Workers > 1 && len(leaves) > 1 {
-		return injectCounterParallel(app, w, leaves, tree.Stacks(), cfg, rep, res, sb, cache)
+	res.CampaignWorkers = workers
+	if workers > 1 {
+		return injectParallel(app, w, cs, tree.Stacks(), mode, cfg, rep, res, sb, cache, workers)
 	}
-	return injectCounterSerial(app, w, leaves, tree.Stacks(), cfg, rep, res, sb, cache)
+	return injectSerial(app, w, cs, tree.Stacks(), mode, cfg, rep, res, sb, cache)
 }
 
-// counterOutcome is the result of replaying one counter-mode leaf on a
-// private engine. It carries everything the merge step needs, so that
-// replays can run on any goroutine while the shared Result and Report
-// are only ever touched in deterministic leaf order.
-type counterOutcome struct {
+// replayOutcome is the result of replaying one leaf on a private engine.
+// It carries everything the merge step needs, so that replays can run on
+// any goroutine while the shared Result and Report are only ever touched
+// in deterministic leaf order.
+type replayOutcome struct {
 	// executed is false when the replay never ran (deadline expired).
 	executed bool
 	// deadlineHit reports that the campaign deadline cut the replay or
-	// its recovery mid-flight; the leaf is left unconsumed and the
+	// its recovery mid-flight; the leaf is released unconsumed and the
 	// campaign stops, exactly as if the deadline had expired between
 	// replays.
 	deadlineHit bool
@@ -189,13 +237,14 @@ type counterOutcome struct {
 	events uint64
 	// retries counts extra replay attempts after transient skips.
 	retries int
-	// injected reports that the replay reached the target counter and
+	// injected reports that the replay reached the failure point and
 	// crashed there.
 	injected bool
 	// recovered reports that the recovery oracle ran.
 	recovered bool
 	// skipReason is non-empty when the leaf was consumed without an
-	// injection: the replay errored or never reached the counter.
+	// injection: the replay errored, never reached the counter, or never
+	// re-encountered the call stack.
 	skipReason string
 	// targetPanic and targetHang mark replays the sandbox stopped: the
 	// target's own code panicked, or the fuel budget expired. The leaf
@@ -232,24 +281,38 @@ func replayFuel(budget, firstICount uint64) uint64 {
 	return fuel
 }
 
-// replayLeaf runs one counter-mode fault injection: a fresh execution
-// crashed at the leaf's first-occurrence instruction counter, followed
-// by the recovery oracle over the graceful-crash image (§4.1). It is
-// safe to call concurrently for different leaves: the engine, the crash
-// image and the oracle's recovery engine are all private to the call,
-// and the shared verdict cache is concurrency-safe.
+// replayLeaf runs one fault injection: a fresh execution crashed at the
+// leaf's failure point, followed by the recovery oracle over the
+// graceful-crash image (§4.1). In counter mode the engine crashes
+// itself at the recorded instruction counter (§5's minimal
+// instrumentation, no hook at all); in stack mode a private targeted
+// injector crashes the run at the first event whose call stack matches
+// the leaf's. It is safe to call concurrently for different leaves: the
+// engine, the injector, the crash image and the oracle's recovery engine
+// are all private to the call, the tree is frozen, and the shared
+// verdict cache is concurrency-safe.
 func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
-	stacks *stack.Table, sb sandboxCfg, cache *imageCache) counterOutcome {
+	stacks *stack.Table, mode campaignMode, sb sandboxCfg, cache *imageCache) replayOutcome {
 
-	out := counterOutcome{executed: true}
-	// Counter mode needs no hook at all: the engine crashes itself at
-	// the recorded counter (§5's minimal instrumentation).
-	opts := pmem.Options{Capture: pmem.CaptureNone, Stacks: stacks, CrashAt: leaf.FirstICount}
+	out := replayOutcome{executed: true}
+	opts := pmem.Options{Capture: mode.capture, Stacks: stacks}
+	var hooks []pmem.Hook
+	if mode.stack {
+		hooks = append(hooks, &fpt.Injector{Target: leaf, Granularity: mode.gran})
+	} else {
+		opts.CrashAt = leaf.FirstICount
+	}
 	if !sb.disabled {
-		opts.MaxEvents = replayFuel(sb.budget, leaf.FirstICount)
+		if mode.stack {
+			// A stack-mode replay has no deterministic crash counter to
+			// bound it by, so it gets the full campaign fuel budget.
+			opts.MaxEvents = sb.budget
+		} else {
+			opts.MaxEvents = replayFuel(sb.budget, leaf.FirstICount)
+		}
 		opts.Deadline = sb.deadline
 	}
-	eng, sres := execute(app, w, opts, sb)
+	eng, sres := execute(app, w, opts, sb, hooks...)
 	out.events = eng.Events()
 	switch {
 	case sres.Err != nil:
@@ -263,7 +326,7 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 			Kind:   report.TargetCrash,
 			ICount: eng.ICount(),
 			Stack:  leaf.Stack,
-			Detail: panicDetail("a counter-mode replay", sres.Panic),
+			Detail: panicDetail(replayDuring, sres.Panic),
 		}
 		return out
 	case sres.Hang != nil:
@@ -276,11 +339,15 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 			Kind:   report.TargetCrash,
 			ICount: eng.ICount(),
 			Stack:  leaf.Stack,
-			Detail: hangDetail("a counter-mode replay", sres.Hang),
+			Detail: hangDetail(replayDuring, sres.Hang),
 		}
 		return out
 	case sres.Sig == nil:
-		out.skipReason = "target instruction counter never reached on replay"
+		if mode.stack {
+			out.skipReason = "failure-point call stack never re-encountered on replay"
+		} else {
+			out.skipReason = "target instruction counter never reached on replay"
+		}
 		return out
 	}
 	out.injected = true
@@ -325,16 +392,18 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 // (with a small backoff) when the replay is consumed by a transient
 // skip. Panics, hangs and deadline cuts are never retried: the first is
 // already a finding, the others would only burn the remaining budget.
+// The retry policy is mode-agnostic: both campaigns share it, so a
+// flaky replay costs the same bounded tolerance either way.
 func replayLeafWithRetry(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
-	stacks *stack.Table, sb sandboxCfg, cache *imageCache) counterOutcome {
+	stacks *stack.Table, mode campaignMode, sb sandboxCfg, cache *imageCache) replayOutcome {
 
-	out := replayLeaf(app, w, leaf, stacks, sb, cache)
+	out := replayLeaf(app, w, leaf, stacks, mode, sb, cache)
 	for attempt := 1; attempt <= maxLeafRetries && out.skipReason != ""; attempt++ {
 		if !sb.deadline.IsZero() && !time.Now().Before(sb.deadline) {
 			break
 		}
 		time.Sleep(time.Duration(attempt) * retryBackoff)
-		next := replayLeaf(app, w, leaf, stacks, sb, cache)
+		next := replayLeaf(app, w, leaf, stacks, mode, sb, cache)
 		next.events += out.events
 		next.retries = out.retries + 1
 		out = next
@@ -343,11 +412,10 @@ func replayLeafWithRetry(app harness.Application, w workload.Workload, leaf *fpt
 }
 
 // consumeOutcome folds one leaf's replay outcome into the shared result
-// and report, marking the leaf visited. Both the serial and the parallel
-// campaign call it in FirstICount order, so the merged report is
-// byte-identical regardless of scheduling.
-func consumeOutcome(leaf *fpt.Leaf, out counterOutcome, rep *report.Report, res *Result) {
-	leaf.Visited = true
+// and report. The leaf was already claimed when it was handed out; both
+// the serial and the parallel campaign call this in FirstICount order,
+// so the merged report is byte-identical regardless of scheduling.
+func consumeOutcome(leaf *fpt.Leaf, out replayOutcome, rep *report.Report, res *Result) {
 	res.EngineEvents += out.events
 	res.RetriedFailurePoints += out.retries
 	if out.skipReason != "" {
@@ -387,158 +455,83 @@ func consumeOutcome(leaf *fpt.Leaf, out counterOutcome, rep *report.Report, res 
 	}
 }
 
-// injectCounterSerial replays the leaves one at a time in FirstICount
-// order. It is the Workers<=1 path and the reference order the parallel
-// campaign reproduces. The campaign deadline is honoured mid-replay: the
-// replay engine carries it as a wall-clock watchdog, so a single long
-// replay can no longer overshoot the budget arbitrarily.
-func injectCounterSerial(app harness.Application, w workload.Workload, leaves []*fpt.Leaf,
-	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, sb sandboxCfg,
-	cache *imageCache) (timedOut bool) {
+// mergeState is the deterministic folding step shared by the serial and
+// parallel drivers: it consumes outcomes strictly in leaf FirstICount
+// order and decides, in that same order, when the campaign stops — the
+// MaxFailurePoints cap, and stack mode's no-progress abort.
+type mergeState struct {
+	mode campaignMode
+	cfg  Config
+	rep  *report.Report
+	res  *Result
 
-	injected := 0
-	for _, leaf := range leaves {
-		if !sb.deadline.IsZero() && time.Now().After(sb.deadline) {
-			return true
-		}
-		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
-			return false
-		}
-		out := replayLeafWithRetry(app, w, leaf, stacks, sb, cache)
-		if out.deadlineHit {
-			return true
-		}
-		consumeOutcome(leaf, out, rep, res)
-		if out.injected {
-			injected++
-		}
+	injected   int
+	noProgress int
+}
+
+// capped reports that the injection cap was reached; the campaign stops
+// before consuming further leaves.
+func (m *mergeState) capped() bool {
+	return m.cfg.MaxFailurePoints > 0 && m.injected >= m.cfg.MaxFailurePoints
+}
+
+// consume folds one outcome and returns whether the campaign must abort:
+// in stack mode, maxNoProgress consecutive leaves consumed without an
+// injection mean replays have stopped reproducing the construction run
+// (a deterministic failure would recur on every remaining leaf), so the
+// campaign gives up instead of burning the budget on full-workload
+// replays that cannot fire.
+func (m *mergeState) consume(leaf *fpt.Leaf, out replayOutcome) (abort bool) {
+	consumeOutcome(leaf, out, m.rep, m.res)
+	if out.injected {
+		m.injected++
+		m.noProgress = 0
+		return false
+	}
+	if !m.mode.stack {
+		return false
+	}
+	m.noProgress++
+	if m.noProgress >= maxNoProgress {
+		m.res.InjectionAborted = true
+		return true
 	}
 	return false
 }
 
-// injectStackSerial is the stack-mode campaign: every iteration re-runs
-// the workload with an injector hook that crashes at the first unvisited
-// failure point whose call stack it re-encounters. The injector mutates
-// the shared tree (marking leaves visited), so this campaign cannot fan
-// out. Replays run inside the sandbox with the campaign watchdogs, like
-// counter mode.
-func injectStackSerial(app harness.Application, w workload.Workload, tree *fpt.Tree,
-	cfg Config, rep *report.Report, res *Result, sb sandboxCfg, cache *imageCache) (timedOut bool) {
+// injectSerial replays the pending leaves one at a time in FirstICount
+// order. It is the Workers<=1 path and the reference order the parallel
+// campaign reproduces, for both injection modes. The campaign deadline
+// is honoured mid-replay: the replay engine carries it as a wall-clock
+// watchdog, so a single long replay can no longer overshoot the budget
+// arbitrarily.
+func injectSerial(app harness.Application, w workload.Workload, cs *fpt.ClaimSet,
+	stacks *stack.Table, mode campaignMode, cfg Config, rep *report.Report, res *Result,
+	sb sandboxCfg, cache *imageCache) (timedOut bool) {
 
-	stacks := tree.Stacks()
-	capture := pmem.CapturePersistency
-	if cfg.Granularity == fpt.GranStore {
-		capture = pmem.CaptureStores
-	}
-	injected := 0
-	noProgress := 0
-	// noProgressRetry bounds an unproductive iteration, aborting the
-	// campaign once the tolerance is exhausted.
-	noProgressRetry := func(format string, args ...any) (abort bool) {
-		noProgress++
-		res.addInjectionError(fmt.Sprintf(format, args...))
-		if noProgress >= maxNoProgress {
-			res.InjectionAborted = true
-			return true
-		}
-		return false
-	}
+	m := &mergeState{mode: mode, cfg: cfg, rep: rep, res: res}
 	for {
 		if !sb.deadline.IsZero() && time.Now().After(sb.deadline) {
 			return true
 		}
-		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
+		if m.capped() {
 			return false
 		}
-		inj := &fpt.Injector{Tree: tree, StackMode: true, Granularity: cfg.Granularity}
-		opts := pmem.Options{Capture: capture, Stacks: stacks}
-		if !sb.disabled {
-			opts.MaxEvents = sb.budget
-			opts.Deadline = sb.deadline
-		}
-		eng, sres := execute(app, w, opts, sb, inj)
-		res.EngineEvents += eng.Events()
-		switch {
-		case sres.Err != nil:
-			// The workload failed before any unvisited failure point
-			// fired: no leaf was consumed, so retrying the identical
-			// deterministic run would loop forever. Bound the retries
-			// and surface the abort instead.
-			if noProgressRetry("stack-mode replay made no progress (attempt %d/%d): %v",
-				noProgress+1, maxNoProgress, sres.Err) {
-				return false
-			}
-			continue
-		case sres.Panic != nil:
-			res.TargetPanics++
-			rep.Add(report.Finding{
-				Kind:   report.TargetCrash,
-				ICount: eng.ICount(),
-				Stack:  stack.NoID,
-				Detail: panicDetail("a stack-mode replay", sres.Panic),
-			})
-			if noProgressRetry("stack-mode replay panicked (attempt %d/%d)",
-				noProgress+1, maxNoProgress) {
-				return false
-			}
-			continue
-		case sres.Hang != nil:
-			if sres.Hang.Deadline {
-				return true
-			}
-			res.TargetHangs++
-			rep.Add(report.Finding{
-				Kind:   report.TargetCrash,
-				ICount: eng.ICount(),
-				Stack:  stack.NoID,
-				Detail: hangDetail("a stack-mode replay", sres.Hang),
-			})
-			if noProgressRetry("stack-mode replay exhausted its hang budget (attempt %d/%d)",
-				noProgress+1, maxNoProgress) {
-				return false
-			}
-			continue
-		case sres.Sig == nil:
-			// No unvisited failure point was reached; done.
+		_, leaf := cs.Next()
+		if leaf == nil {
 			return false
 		}
-		noProgress = 0
-		sig := sres.Sig
-		injected++
-		res.Injections++
-
-		check, ddl, hit := cachedCheck(app, eng, sb, cache)
-		if ddl {
+		t0 := time.Now()
+		out := replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache)
+		res.WorkerBusy += time.Since(t0)
+		if out.deadlineHit {
+			// The mid-replay watchdog cut the replay short: the failure
+			// point stays unexplored, so hand its claim back.
+			cs.Release(leaf)
 			return true
 		}
-		res.Recoveries++
-		if cache != nil {
-			if hit {
-				res.ImageCacheHits++
-			} else {
-				res.ImageCacheMisses++
-			}
-		}
-		if !check.Consistent() {
-			kind := report.CrashConsistency
-			if check.Verdict == oracle.Hung {
-				kind = report.RecoveryHang
-				res.RecoveryHangs++
-			}
-			detail := check.Describe()
-			if check.Verdict == oracle.Crashed && check.PanicTrace != "" {
-				detail += "\nrecovery trace:\n" + truncate(check.PanicTrace, 800)
-			}
-			stackID := sig.Stack
-			if inj.Fired != nil {
-				stackID = inj.Fired.Stack
-			}
-			rep.Add(report.Finding{
-				Kind:   kind,
-				ICount: sig.ICount,
-				Stack:  stackID,
-				Detail: detail,
-			})
+		if m.consume(leaf, out) {
+			return false
 		}
 	}
 }

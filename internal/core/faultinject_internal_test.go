@@ -78,8 +78,8 @@ func TestCounterModeCountsUnreachedCounter(t *testing.T) {
 	if len(res.InjectionErrors) != 1 || !strings.Contains(res.InjectionErrors[0], "never reached") {
 		t.Fatalf("InjectionErrors = %q, want one never-reached entry", res.InjectionErrors)
 	}
-	if len(tree.Unvisited()) != 0 {
-		t.Fatalf("%d leaves left unvisited", len(tree.Unvisited()))
+	if res.Claims.Remaining() != 0 {
+		t.Fatalf("%d leaves left unclaimed", res.Claims.Remaining())
 	}
 }
 

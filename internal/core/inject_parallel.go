@@ -1,22 +1,25 @@
-// Parallel counter-mode fault injection.
+// Parallel fault injection, both modes.
 //
-// Every counter-mode replay is independent: it builds a fresh private
-// pmem.Engine, re-runs the deterministic workload, crashes it at the
-// leaf's recorded instruction counter and hands the graceful-crash image
-// to a private recovery engine. Nothing but the read-only workload, the
-// stateless application value and the (concurrency-safe) stack table is
+// Every replay is independent: it builds a fresh private pmem.Engine,
+// re-runs the deterministic workload, crashes it at the claimed leaf's
+// failure point (the recorded instruction counter, or a private
+// stack-matching injector over the frozen tree) and hands the
+// graceful-crash image to a private recovery engine. Nothing but the
+// read-only workload, the stateless application value, the immutable
+// tree, the (concurrency-safe) stack table and the verdict cache is
 // shared, so the campaign — the hot path of the whole analysis — fans
 // out across a bounded worker pool.
 //
-// Determinism is preserved by separating execution from merging: workers
-// replay leaves in any order, but a single merge loop folds the outcomes
-// into the Result and Report strictly in leaf FirstICount order — the
-// same order the serial campaign uses — so the final report is
-// byte-identical for any worker count. Budget expiry and the
-// MaxFailurePoints cap are likewise decided only at merge time, in leaf
-// order; speculative replays beyond the stop point are discarded
-// unconsumed, keeping even the aggregate counters identical to a serial
-// run.
+// Determinism is preserved by separating claiming and execution from
+// merging: workers take leaves from the ClaimSet in any interleaving,
+// but a single merge loop folds the outcomes into the Result and Report
+// strictly in leaf FirstICount order — the same order the serial
+// campaign uses — so the final report is byte-identical for any worker
+// count. Budget expiry, the MaxFailurePoints cap and stack mode's
+// no-progress abort are likewise decided only at merge time, in leaf
+// order; speculative replays beyond the stop point are discarded and
+// their claims released, keeping even the aggregate counters and the
+// final claim state identical to a serial run.
 package core
 
 import (
@@ -31,28 +34,34 @@ import (
 	"mumak/internal/workload"
 )
 
-// injectCounterParallel fans the counter-mode leaves out across
-// cfg.Workers goroutines and merges the outcomes deterministically. It
-// returns whether the deadline expired before every leaf was consumed.
-func injectCounterParallel(app harness.Application, w workload.Workload, leaves []*fpt.Leaf,
-	stacks *stack.Table, cfg Config, rep *report.Report, res *Result, sb sandboxCfg,
-	cache *imageCache) (timedOut bool) {
+// injectParallel fans the pending leaves out across `workers` goroutines
+// pulling from the shared ClaimSet and merges the outcomes
+// deterministically. It returns whether the deadline expired before
+// every leaf was consumed.
+func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimSet,
+	stacks *stack.Table, mode campaignMode, cfg Config, rep *report.Report, res *Result,
+	sb sandboxCfg, cache *imageCache, workers int) (timedOut bool) {
 
-	n := len(leaves)
-	workers := cfg.Workers
+	pending := cs.Pending()
+	n := len(pending)
 	if workers > n {
 		workers = n
 	}
-	outcomes := make([]counterOutcome, n)
+	outcomes := make([]replayOutcome, n)
+	// taken[i] records that some worker claimed pending[i] via Next;
+	// workers write it before closing done[i] and the merge loop reads
+	// it only after wg.Wait, so the release sweep sees a settled view.
+	taken := make([]bool, n)
 	done := make([]chan struct{}, n)
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
 
-	// next hands out contiguous leaf indices; every index taken is
-	// guaranteed to have its done channel closed, so the merge loop can
-	// wait on slots in order without risking a stall.
-	var next atomic.Int64
+	// The ClaimSet cursor hands out contiguous pending indices (nothing
+	// else claims during the campaign); every index taken is guaranteed
+	// to have its done channel closed, so the merge loop can wait on
+	// slots in order without risking a stall.
+	var busy atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
@@ -60,25 +69,30 @@ func injectCounterParallel(app harness.Application, w workload.Workload, leaves 
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				i, leaf := cs.Next()
+				if leaf == nil {
 					return
 				}
+				taken[i] = true
 				if !sb.deadline.IsZero() && time.Now().After(sb.deadline) {
 					// Leave the slot marked not-executed; the merge
-					// loop turns the first such slot into TimedOut.
+					// loop turns the first such slot into TimedOut and
+					// the sweep below releases the claim.
 					close(done[i])
 					return
 				}
-				outcomes[i] = replayLeafWithRetry(app, w, leaves[i], stacks, sb, cache)
+				t0 := time.Now()
+				outcomes[i] = replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache)
+				busy.Add(int64(time.Since(t0)))
 				close(done[i])
 			}
 		}()
 	}
 
-	injected := 0
+	m := &mergeState{mode: mode, cfg: cfg, rep: rep, res: res}
+	consumed := 0
 	for i := 0; i < n; i++ {
-		if cfg.MaxFailurePoints > 0 && injected >= cfg.MaxFailurePoints {
+		if m.capped() {
 			break
 		}
 		<-done[i]
@@ -91,12 +105,22 @@ func injectCounterParallel(app harness.Application, w workload.Workload, leaves 
 			timedOut = true
 			break
 		}
-		consumeOutcome(leaves[i], out, rep, res)
-		if out.injected {
-			injected++
+		consumed = i + 1
+		if m.consume(pending[i], out) {
+			break
 		}
 	}
 	stop.Store(true)
 	wg.Wait()
+	res.WorkerBusy += time.Duration(busy.Load())
+	// Release the claims of leaves that were taken speculatively but
+	// never consumed (deadline, cap, abort): those failure points are
+	// still unexplored, and the final claim state must match what a
+	// serial campaign stopping at the same leaf would leave behind.
+	for i := consumed; i < n; i++ {
+		if taken[i] {
+			cs.Release(pending[i])
+		}
+	}
 	return timedOut
 }

@@ -109,7 +109,7 @@ func TestParallelInjectionCapMatchesSerial(t *testing.T) {
 	if got, want := par.Report.Format(false), serial.Report.Format(false); got != want {
 		t.Fatalf("capped parallel report differs:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
 	}
-	if got, want := len(par.Tree.Unvisited()), len(serial.Tree.Unvisited()); got != want {
-		t.Fatalf("capped parallel run left %d leaves unvisited, serial %d", got, want)
+	if got, want := par.Claims.Remaining(), serial.Claims.Remaining(); got != want {
+		t.Fatalf("capped parallel run left %d leaves unclaimed, serial %d", got, want)
 	}
 }

@@ -68,7 +68,7 @@ func TestReplayHonoursDeadlineMidReplay(t *testing.T) {
 		deadline: time.Now().Add(100 * time.Millisecond),
 	}
 	start := time.Now()
-	out := replayLeaf(app, w, leaf, stacks, sb, nil)
+	out := replayLeaf(app, w, leaf, stacks, Config{}.campaignMode(), sb, nil)
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Fatalf("replay ran %s past a 100ms deadline", elapsed)
 	}
@@ -121,12 +121,12 @@ func (a *flakyApp) Run(e *pmem.Engine, w workload.Workload) error {
 func TestLeafRetryRecoversTransientFailure(t *testing.T) {
 	w := testWorkload()
 	tree, stacks := buildTree(t, testTarget(), w)
-	leaves := tree.Unvisited()
+	leaves := tree.LeavesByICount()
 	// The last leaf's counter lies inside Run, so the flaky failure is
 	// actually exercised (early leaves crash during Setup, before Run).
 	leaf := leaves[len(leaves)-1]
 	flaky := &flakyApp{Application: testTarget(), failures: 1}
-	out := replayLeafWithRetry(flaky, w, leaf, stacks, Config{}.sandbox(time.Time{}), nil)
+	out := replayLeafWithRetry(flaky, w, leaf, stacks, Config{}.campaignMode(), Config{}.sandbox(time.Time{}), nil)
 	if out.retries != 1 {
 		t.Errorf("retries = %d, want 1", out.retries)
 	}
@@ -170,6 +170,40 @@ func TestAnalyzeRecordsSandboxMetrics(t *testing.T) {
 		t.Errorf("metrics recorded %d target panics, want 1", panics)
 	}
 	metrics.ResetSandboxCounters()
+}
+
+// TestAnalyzeRecordsCampaignMetrics: every campaign folds its shape —
+// mode, workers, replays, contention, busy/wall time — into the
+// process-wide per-mode metrics counters.
+func TestAnalyzeRecordsCampaignMetrics(t *testing.T) {
+	metrics.ResetCampaignCounters()
+	defer metrics.ResetCampaignCounters()
+
+	if _, err := Analyze(testTarget(), testWorkload(), Config{DisableTraceAnalysis: true}); err != nil {
+		t.Fatal(err)
+	}
+	counter := metrics.CampaignCounters(false)
+	if counter.Campaigns != 1 || counter.Workers != 1 || counter.Replays == 0 {
+		t.Errorf("counter-mode stats = %+v, want 1 campaign, 1 worker, >0 replays", counter)
+	}
+	if s := metrics.CampaignCounters(true); s.Campaigns != 0 {
+		t.Errorf("counter-mode run bled into the stack-mode counters: %+v", s)
+	}
+
+	if _, err := Analyze(testTarget(), testWorkload(),
+		Config{StackMode: true, Workers: 4, DisableTraceAnalysis: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := metrics.CampaignCounters(true)
+	if st.Campaigns != 1 || st.Workers != 4 || st.Replays == 0 {
+		t.Errorf("stack-mode stats = %+v, want 1 campaign, 4 workers, >0 replays", st)
+	}
+	if st.ClaimContention != 0 {
+		t.Errorf("claim traversal recorded %d contended claims, want 0", st.ClaimContention)
+	}
+	if st.Busy <= 0 || st.Wall <= 0 || st.Utilization() <= 0 {
+		t.Errorf("stack-mode stats missing time accounting: busy=%v wall=%v", st.Busy, st.Wall)
+	}
 }
 
 // cfgSeeded mirrors the external-test helper: an SPT btree config with

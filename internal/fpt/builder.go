@@ -78,18 +78,26 @@ func (b *Builder) insert(ev *pmem.Event) {
 // Injector is a pmem.Hook that crashes the execution at a chosen
 // failure point. In counter mode (deterministic targets) it crashes when
 // the instruction counter reaches the leaf's recorded first occurrence;
-// in stack mode it matches call stacks against unvisited leaves, which
-// requires stack capture but no determinism.
+// in stack mode it crashes at the first failure-point event whose call
+// stack matches the target leaf's, which requires stack capture but no
+// determinism.
+//
+// The injector carries its own cursor: it never reads or writes shared
+// campaign state, so one replay per worker can run against the same
+// frozen tree with a private Injector each. Which leaf a replay targets
+// is decided up front (a ClaimSet hands leaves out), not by the
+// injector mutating visited marks as it fires.
 type Injector struct {
-	// Tree is consulted in stack mode.
-	Tree *Tree
-	// TargetICount crashes at this instruction counter when non-zero.
+	// TargetICount crashes at this instruction counter when non-zero
+	// (counter mode).
 	TargetICount uint64
-	// StackMode matches stacks instead of counters.
-	StackMode bool
+	// Target selects stack mode: the replay crashes at the first
+	// failure-point event whose call stack matches Target.Stack. The
+	// leaf is read-only to the injector.
+	Target *Leaf
 	// Granularity must match the tree's.
 	Granularity Granularity
-	// Fired is set to the leaf that triggered the crash.
+	// Fired is set to Target when the stack-mode crash fired.
 	Fired *Leaf
 
 	storeSinceLast bool
@@ -98,12 +106,16 @@ type Injector struct {
 // OnEvent implements pmem.Hook; it panics with *pmem.CrashSignal at the
 // selected failure point, before the instruction takes effect.
 func (in *Injector) OnEvent(ev *pmem.Event) {
-	if !in.StackMode {
+	if in.Target == nil {
 		if in.TargetICount != 0 && ev.ICount == in.TargetICount {
 			panic(&pmem.CrashSignal{ICount: ev.ICount, Stack: ev.Stack, Reason: "failure point (counter mode)"})
 		}
 		return
 	}
+	// Mirror the Builder's gating exactly, so a replay recognises as
+	// failure points precisely the events the builder turned into
+	// leaves — including the RMW case, whose fence half is a failure
+	// point and whose write half re-arms the store gate.
 	isFP := false
 	switch in.Granularity {
 	case GranStore:
@@ -114,17 +126,16 @@ func (in *Injector) OnEvent(ev *pmem.Event) {
 			in.storeSinceLast = true
 		case pmem.KindFlush, pmem.KindFence:
 			isFP = in.storeSinceLast
+			in.storeSinceLast = false
+			if ev.Op == pmem.OpRMW {
+				// The RMW writes as well as fences.
+				in.storeSinceLast = true
+			}
 		}
 	}
-	if !isFP || ev.Stack == stack.NoID {
+	if !isFP || ev.Stack == stack.NoID || ev.Stack != in.Target.Stack {
 		return
 	}
-	in.storeSinceLast = false
-	leaf := in.Tree.Lookup(ev.Stack)
-	if leaf == nil || leaf.Visited {
-		return
-	}
-	leaf.Visited = true
-	in.Fired = leaf
+	in.Fired = in.Target
 	panic(&pmem.CrashSignal{ICount: ev.ICount, Stack: ev.Stack, Reason: "failure point (stack mode)"})
 }

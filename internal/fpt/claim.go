@@ -1,0 +1,135 @@
+package fpt
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ClaimSet is the traversal state of one injection campaign over a
+// frozen Tree: a per-leaf atomic claim mark plus a cursor over the
+// FirstICount-ordered snapshot of unclaimed leaves. Separating this
+// state from the tree is what lets many campaign workers walk one tree
+// concurrently — the tree itself is immutable, claims are single atomic
+// words, and the hot path takes no locks.
+//
+// Claim/Claimed/Release/Next are safe for concurrent use. Claim may
+// also be used before traversal begins to pre-mark leaves (restoring a
+// serialised campaign): the pending snapshot is built lazily on the
+// first Next/Pending call and excludes everything claimed by then.
+type ClaimSet struct {
+	tree  *Tree
+	marks []atomic.Uint32 // indexed by Leaf.ID; 1 = claimed
+
+	once    sync.Once
+	pending []*Leaf // unclaimed leaves at snapshot time, FirstICount order
+	cursor  atomic.Int64
+
+	claimed    atomic.Int64 // number of set marks
+	contention atomic.Int64 // lost claim races observed
+}
+
+// NewClaimSet returns an empty claim set over the tree's current
+// leaves. The tree should be frozen before workers start claiming;
+// leaves inserted after the set is created are not tracked.
+func NewClaimSet(t *Tree) *ClaimSet {
+	return &ClaimSet{tree: t, marks: make([]atomic.Uint32, len(t.leaves))}
+}
+
+// Tree returns the tree the set tracks.
+func (cs *ClaimSet) Tree() *Tree { return cs.tree }
+
+// Claim atomically marks the leaf as consumed and reports whether this
+// caller won the mark. Exactly one of any number of concurrent claimers
+// of the same leaf succeeds; losers are counted as contention.
+func (cs *ClaimSet) Claim(l *Leaf) bool {
+	if l == nil || l.ID < 0 || l.ID >= len(cs.marks) {
+		return false
+	}
+	if cs.marks[l.ID].CompareAndSwap(0, 1) {
+		cs.claimed.Add(1)
+		return true
+	}
+	cs.contention.Add(1)
+	return false
+}
+
+// Release clears the leaf's claim mark — the campaign took the leaf but
+// discarded the speculative replay (budget expiry, injection cap), so
+// the failure point is still unexplored. Releasing an unclaimed leaf is
+// a no-op. Released leaves are not re-offered by the current snapshot's
+// Next cursor; they surface again through Remaining and a later set.
+func (cs *ClaimSet) Release(l *Leaf) {
+	if l == nil || l.ID < 0 || l.ID >= len(cs.marks) {
+		return
+	}
+	if cs.marks[l.ID].CompareAndSwap(1, 0) {
+		cs.claimed.Add(-1)
+	}
+}
+
+// Claimed reports whether the leaf has been claimed.
+func (cs *ClaimSet) Claimed(l *Leaf) bool {
+	if l == nil || l.ID < 0 || l.ID >= len(cs.marks) {
+		return false
+	}
+	return cs.marks[l.ID].Load() == 1
+}
+
+// build materialises the pending snapshot: every leaf not claimed yet,
+// in FirstICount order.
+func (cs *ClaimSet) build() {
+	cs.once.Do(func() {
+		pending := make([]*Leaf, 0, len(cs.tree.leaves))
+		for _, l := range cs.tree.leaves {
+			if cs.marks[l.ID].Load() == 0 {
+				pending = append(pending, l)
+			}
+		}
+		sort.Slice(pending, func(i, j int) bool {
+			return pending[i].FirstICount < pending[j].FirstICount
+		})
+		cs.pending = pending
+	})
+}
+
+// Pending returns the snapshot of leaves that were unclaimed when
+// traversal began, in FirstICount order — the campaign's work list. The
+// slice is shared with the cursor; treat it as read-only.
+func (cs *ClaimSet) Pending() []*Leaf {
+	cs.build()
+	return cs.pending
+}
+
+// Next atomically takes the next unclaimed leaf of the pending snapshot
+// in FirstICount order, marking it claimed, and returns it with its
+// index into Pending. It returns (-1, nil) once the snapshot is
+// drained. Concurrent callers each receive a distinct leaf; no leaf is
+// delivered twice and none is skipped unless something else claimed it
+// first (which counts as contention).
+func (cs *ClaimSet) Next() (int, *Leaf) {
+	cs.build()
+	for {
+		i := int(cs.cursor.Add(1)) - 1
+		if i >= len(cs.pending) {
+			return -1, nil
+		}
+		if cs.Claim(cs.pending[i]) {
+			return i, cs.pending[i]
+		}
+		// Claimed out from under the cursor (e.g. an external resume
+		// mark racing traversal): skip it, it is someone else's leaf.
+	}
+}
+
+// ClaimedCount returns the number of currently claimed leaves.
+func (cs *ClaimSet) ClaimedCount() int { return int(cs.claimed.Load()) }
+
+// Remaining returns the number of leaves not claimed yet.
+func (cs *ClaimSet) Remaining() int { return len(cs.marks) - int(cs.claimed.Load()) }
+
+// Contention returns the number of lost claim races observed — claims
+// and cursor takes that found the leaf already marked. Zero in a
+// well-partitioned campaign; non-zero values signal overlapping
+// claimers (e.g. two shards given the same range).
+func (cs *ClaimSet) Contention() int { return int(cs.contention.Load()) }

@@ -1,0 +1,205 @@
+package fpt_test
+
+import (
+	"sync"
+	"testing"
+
+	. "mumak/internal/fpt"
+	"mumak/internal/stack"
+)
+
+func claimFixture(t *testing.T, n int) (*Tree, []*Leaf) {
+	t.Helper()
+	st := stack.NewTable()
+	tree := New(st)
+	leaves := make([]*Leaf, 0, n)
+	for i := 0; i < n; i++ {
+		// Distinct single-frame stacks; icounts deliberately out of
+		// insertion order so ordering bugs surface.
+		l, added := tree.Insert(st.Intern([]uintptr{uintptr(i + 1)}), uint64((i*7)%n+1))
+		if !added {
+			t.Fatalf("fixture stack %d not unique", i)
+		}
+		leaves = append(leaves, l)
+	}
+	tree.Freeze()
+	return tree, leaves
+}
+
+// TestConcurrentNextExactlyOnce is the core claim-API guarantee: any
+// number of concurrent workers pulling from one ClaimSet receive every
+// leaf exactly once — no double-claims, no drops. Run under -race.
+func TestConcurrentNextExactlyOnce(t *testing.T) {
+	const n, workers = 500, 8
+	tree, _ := claimFixture(t, n)
+	cs := NewClaimSet(tree)
+
+	var mu sync.Mutex
+	seen := make(map[int]int, n) // leaf ID -> deliveries
+	indices := make(map[int]int, n)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, leaf := cs.Next()
+				if leaf == nil {
+					return
+				}
+				mu.Lock()
+				seen[leaf.ID]++
+				indices[i]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct leaves, want %d (dropped leaves)", len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("leaf %d delivered %d times", id, c)
+		}
+	}
+	for i, c := range indices {
+		if c != 1 || i < 0 || i >= n {
+			t.Fatalf("pending index %d delivered %d times", i, c)
+		}
+	}
+	if cs.Remaining() != 0 || cs.ClaimedCount() != n {
+		t.Fatalf("after drain: remaining=%d claimed=%d", cs.Remaining(), cs.ClaimedCount())
+	}
+	if cs.Contention() != 0 {
+		t.Fatalf("cursor-partitioned traversal observed %d contended claims, want 0", cs.Contention())
+	}
+}
+
+// TestConcurrentClaimSingleWinner races many claimers at the same leaf:
+// exactly one must win, and the losers must be counted as contention.
+func TestConcurrentClaimSingleWinner(t *testing.T) {
+	const claimers = 16
+	tree, leaves := claimFixture(t, 4)
+	cs := NewClaimSet(tree)
+	target := leaves[2]
+
+	var wins sync.WaitGroup
+	won := make(chan bool, claimers)
+	for i := 0; i < claimers; i++ {
+		wins.Add(1)
+		go func() {
+			defer wins.Done()
+			won <- cs.Claim(target)
+		}()
+	}
+	wins.Wait()
+	close(won)
+	winners := 0
+	for w := range won {
+		if w {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d claimers won the same leaf", winners)
+	}
+	if cs.Contention() != claimers-1 {
+		t.Fatalf("contention=%d, want %d", cs.Contention(), claimers-1)
+	}
+	if !cs.Claimed(target) || cs.Claimed(leaves[0]) {
+		t.Fatal("claim marks wrong after race")
+	}
+}
+
+func TestReleaseReopensLeaf(t *testing.T) {
+	tree, leaves := claimFixture(t, 3)
+	cs := NewClaimSet(tree)
+	l := leaves[1]
+	if !cs.Claim(l) {
+		t.Fatal("claim failed")
+	}
+	cs.Release(l)
+	if cs.Claimed(l) {
+		t.Fatal("leaf still claimed after release")
+	}
+	if cs.Remaining() != 3 {
+		t.Fatalf("remaining=%d after release, want 3", cs.Remaining())
+	}
+	// Releasing an unclaimed leaf is a no-op, not an underflow.
+	cs.Release(l)
+	if cs.ClaimedCount() != 0 {
+		t.Fatalf("claimed count %d after double release", cs.ClaimedCount())
+	}
+	if !cs.Claim(l) {
+		t.Fatal("released leaf cannot be re-claimed")
+	}
+}
+
+// TestPreClaimedExcludedFromPending models a resumed campaign: leaves
+// claimed before traversal begins (restored visited marks) must not be
+// offered by Next or appear in Pending.
+func TestPreClaimedExcludedFromPending(t *testing.T) {
+	tree, leaves := claimFixture(t, 10)
+	cs := NewClaimSet(tree)
+	pre := map[int]bool{}
+	for _, l := range leaves[:4] {
+		cs.Claim(l)
+		pre[l.ID] = true
+	}
+	pending := cs.Pending()
+	if len(pending) != 6 {
+		t.Fatalf("pending has %d leaves, want 6", len(pending))
+	}
+	for i, l := range pending {
+		if pre[l.ID] {
+			t.Fatalf("pre-claimed leaf %d in pending", l.ID)
+		}
+		if i > 0 && pending[i-1].FirstICount > l.FirstICount {
+			t.Fatal("pending not in FirstICount order")
+		}
+	}
+	delivered := 0
+	for {
+		_, leaf := cs.Next()
+		if leaf == nil {
+			break
+		}
+		if pre[leaf.ID] {
+			t.Fatalf("Next delivered pre-claimed leaf %d", leaf.ID)
+		}
+		delivered++
+	}
+	if delivered != 6 {
+		t.Fatalf("Next delivered %d leaves, want 6", delivered)
+	}
+}
+
+// TestExternalClaimRacesCursor: a leaf claimed directly (not via Next)
+// after the snapshot is built is skipped by the cursor and counted as
+// contention, and is never delivered twice.
+func TestExternalClaimRacesCursor(t *testing.T) {
+	tree, _ := claimFixture(t, 6)
+	cs := NewClaimSet(tree)
+	pending := cs.Pending() // build the snapshot first
+	cs.Claim(pending[2])    // external claim behind the cursor's back
+	got := []*Leaf{}
+	for {
+		_, leaf := cs.Next()
+		if leaf == nil {
+			break
+		}
+		if leaf == pending[2] {
+			t.Fatal("cursor delivered an externally claimed leaf")
+		}
+		got = append(got, leaf)
+	}
+	if len(got) != 5 {
+		t.Fatalf("cursor delivered %d leaves, want 5", len(got))
+	}
+	if cs.Contention() != 1 {
+		t.Fatalf("contention=%d, want 1 (cursor skip)", cs.Contention())
+	}
+}

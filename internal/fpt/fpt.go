@@ -7,6 +7,13 @@
 // one fault per leaf explores every unique path to a persistency
 // instruction while skipping the equivalent post-failure states that
 // repeated visits would generate.
+//
+// The tree is immutable by construction once Freeze is called: the
+// builder inserts leaves during the single instrumented run, the
+// campaign freezes the tree, and from then on structure and leaves never
+// change. Traversal state — which failure points an injection campaign
+// has consumed — lives in a separate ClaimSet, so any number of workers
+// can walk one frozen tree concurrently without locks on the hot path.
 package fpt
 
 import (
@@ -17,7 +24,9 @@ import (
 	"mumak/internal/stack"
 )
 
-// Leaf is one unique failure point.
+// Leaf is one unique failure point. Leaves are immutable once the tree
+// is frozen; campaign progress is tracked in a ClaimSet, never on the
+// leaf itself.
 type Leaf struct {
 	// ID numbers leaves in insertion order.
 	ID int
@@ -29,8 +38,6 @@ type Leaf struct {
 	// reproduces exactly this failure point (the instruction-counter
 	// optimisation of §5).
 	FirstICount uint64
-	// Visited marks leaves already used for fault injection.
-	Visited bool
 }
 
 type node struct {
@@ -48,6 +55,9 @@ type Tree struct {
 	// nodes counts tree nodes, a proxy for the pre-allocated memory of
 	// the Pin implementation.
 	nodes int
+	// frozen marks the end of construction: further Inserts panic, and
+	// every accessor is safe for concurrent use.
+	frozen bool
 }
 
 // New returns an empty tree backed by the given stack table.
@@ -58,11 +68,24 @@ func New(stacks *stack.Table) *Tree {
 // Stacks returns the backing stack table.
 func (t *Tree) Stacks() *stack.Table { return t.stacks }
 
+// Freeze ends construction: any later Insert panics. A frozen tree is
+// immutable and therefore safe to share across any number of goroutines
+// without synchronisation; traversal state belongs in a ClaimSet.
+// Freeze is idempotent.
+func (t *Tree) Freeze() { t.frozen = true }
+
+// Frozen reports whether construction has ended.
+func (t *Tree) Frozen() bool { return t.frozen }
+
 // Insert adds the call stack identified by id, reached first at
 // instruction counter icount, and returns the leaf plus whether it was
 // newly created. Stacks are inserted outermost-frame-first, so shared
 // prefixes (common callers) share tree nodes, exactly as in Fig 2.
+// Insert panics on a frozen tree.
 func (t *Tree) Insert(id stack.ID, icount uint64) (*Leaf, bool) {
+	if t.frozen {
+		panic("fpt: Insert on a frozen tree")
+	}
 	pcs := t.stacks.PCs(id)
 	if len(pcs) == 0 {
 		return nil, false
@@ -108,31 +131,21 @@ func (t *Tree) Lookup(id stack.ID) *Leaf {
 // not modify it.
 func (t *Tree) Leaves() []*Leaf { return t.leaves }
 
+// LeavesByICount returns a fresh snapshot of all leaves sorted by first
+// occurrence, the order injection campaigns proceed in. The returned
+// slice is the caller's to keep.
+func (t *Tree) LeavesByICount() []*Leaf {
+	out := make([]*Leaf, len(t.leaves))
+	copy(out, t.leaves)
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstICount < out[j].FirstICount })
+	return out
+}
+
 // Len returns the number of unique failure points.
 func (t *Tree) Len() int { return len(t.leaves) }
 
 // Nodes returns the number of internal tree nodes.
 func (t *Tree) Nodes() int { return t.nodes }
-
-// Unvisited returns the leaves not yet used for fault injection, in
-// FirstICount order, so injection proceeds in execution order.
-func (t *Tree) Unvisited() []*Leaf {
-	var out []*Leaf
-	for _, l := range t.leaves {
-		if !l.Visited {
-			out = append(out, l)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].FirstICount < out[j].FirstICount })
-	return out
-}
-
-// ResetVisited clears all visited marks.
-func (t *Tree) ResetVisited() {
-	for _, l := range t.leaves {
-		l.Visited = false
-	}
-}
 
 // String renders the tree in the style of Fig 2: one line per node,
 // indented by depth, leaves annotated with their ID and first counter.

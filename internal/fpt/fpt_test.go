@@ -58,24 +58,47 @@ func TestLookup(t *testing.T) {
 	}
 }
 
-func TestUnvisitedOrderAndReset(t *testing.T) {
+func TestLeavesByICountOrderAndClaims(t *testing.T) {
 	st := stack.NewTable()
 	tree := New(st)
 	la, _ := tree.Insert(st.Intern([]uintptr{1}), 50)
 	lb, _ := tree.Insert(st.Intern([]uintptr{2}), 10)
 	lc, _ := tree.Insert(st.Intern([]uintptr{3}), 30)
-	got := tree.Unvisited()
+	tree.Freeze()
+	got := tree.LeavesByICount()
 	if len(got) != 3 || got[0] != lb || got[1] != lc || got[2] != la {
-		t.Fatalf("unvisited order wrong: %+v", got)
+		t.Fatalf("icount order wrong: %+v", got)
 	}
-	lb.Visited = true
-	if n := len(tree.Unvisited()); n != 2 {
-		t.Fatalf("unvisited after visit = %d", n)
+	cs := NewClaimSet(tree)
+	if !cs.Claim(lb) {
+		t.Fatal("first claim lost")
 	}
-	tree.ResetVisited()
-	if n := len(tree.Unvisited()); n != 3 {
-		t.Fatalf("unvisited after reset = %d", n)
+	if cs.Claim(lb) {
+		t.Fatal("double claim won")
 	}
+	if cs.Remaining() != 2 {
+		t.Fatalf("remaining after claim = %d", cs.Remaining())
+	}
+	// A fresh claim set is a reset: the tree itself carries no state.
+	if n := NewClaimSet(tree).Remaining(); n != 3 {
+		t.Fatalf("fresh claim set remaining = %d", n)
+	}
+}
+
+func TestFrozenTreeRejectsInsert(t *testing.T) {
+	st := stack.NewTable()
+	tree := New(st)
+	tree.Insert(st.Intern([]uintptr{1}), 1)
+	tree.Freeze()
+	if !tree.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert on a frozen tree did not panic")
+		}
+	}()
+	tree.Insert(st.Intern([]uintptr{2}), 2)
 }
 
 func TestPropertyInsertLookupRoundTrip(t *testing.T) {
@@ -230,19 +253,30 @@ func TestInjectorCounterMode(t *testing.T) {
 }
 
 func TestInjectorStackMode(t *testing.T) {
-	// Both phases drive the application from the same call site so
-	// that call stacks — and therefore failure-point identities —
-	// agree between the tree-construction and injection runs, as they
-	// do when the core pipeline re-executes the same binary.
+	// The construction run and the injection replays drive the
+	// application from the same call site so that call stacks — and
+	// therefore failure-point identities — agree, as they do when the
+	// core pipeline re-executes the same binary. Each replay targets
+	// one specific leaf; the tree is frozen and never mutated.
 	st := stack.NewTable()
 	tree := New(st)
-	var injectors []*Injector
-	for phase := 0; phase < 3; phase++ {
+	// Every phase drives the workload through the one call site below so
+	// the call frames above the engine — and therefore the interned
+	// stack IDs — are identical between construction and replay, as
+	// they are when the core pipeline re-executes the same binary.
+	// Phase -1 builds the tree; phase i >= 0 replays against leaf i of
+	// the FirstICount ordering with a private targeted injector.
+	var (
+		order     []*Leaf
+		injectors []*Injector
+		sigs      []*pmem.CrashSignal
+	)
+	for phase := -1; phase == -1 || phase < len(order); phase++ {
 		e := pmem.NewEngine(pmem.Options{PoolSize: 4096, Capture: pmem.CapturePersistency, Stacks: st})
-		if phase == 0 {
+		if phase == -1 {
 			e.AttachHook(NewBuilder(tree, GranPersistency))
 		} else {
-			inj := &Injector{Tree: tree, StackMode: true, Granularity: GranPersistency}
+			inj := &Injector{Target: order[phase], Granularity: GranPersistency}
 			injectors = append(injectors, inj)
 			e.AttachHook(inj)
 		}
@@ -250,22 +284,34 @@ func TestInjectorStackMode(t *testing.T) {
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					_ = r.(*pmem.CrashSignal)
+					sigs = append(sigs, r.(*pmem.CrashSignal))
 				}
 			}()
 			app.mainPath()
 			app.loopPath()
 		}()
+		if phase == -1 {
+			tree.Freeze()
+			order = tree.LeavesByICount()
+			if len(order) == 0 {
+				t.Fatal("construction run built no failure points")
+			}
+		}
 	}
-	if injectors[0].Fired == nil {
-		t.Fatalf("stack-mode injector never fired (tree has %d leaves)", tree.Len())
+	if len(sigs) != len(order) {
+		t.Fatalf("%d of %d replays crashed", len(sigs), len(order))
 	}
-	if !injectors[0].Fired.Visited {
-		t.Fatal("fired leaf not marked visited")
-	}
-	// The second injection run skips the visited leaf and fires on the
-	// next unvisited one.
-	if injectors[1].Fired == nil || injectors[1].Fired == injectors[0].Fired {
-		t.Fatalf("second injection did not advance: %+v", injectors[1].Fired)
+	for i, leaf := range order {
+		if injectors[i].Fired != leaf {
+			t.Fatalf("injector for leaf #%d never fired", leaf.ID)
+		}
+		if sigs[i].Stack != leaf.Stack {
+			t.Fatalf("leaf #%d crashed on stack %d, want %d", leaf.ID, sigs[i].Stack, leaf.Stack)
+		}
+		// The first gated occurrence of a deterministic replay is the
+		// one the builder recorded.
+		if sigs[i].ICount != leaf.FirstICount {
+			t.Fatalf("leaf #%d crashed at instruction %d, want %d", leaf.ID, sigs[i].ICount, leaf.FirstICount)
+		}
 	}
 }

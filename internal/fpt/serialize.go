@@ -22,36 +22,55 @@ type wireTree struct {
 }
 
 // Encode serialises the tree (step 5 of Fig 1 stores it in a file so a
-// later fault-injection execution can deserialise it). Program counters
-// are only stable within one process image — the same constraint that
-// makes the original pre-allocate Pin's memory and disable address-space
-// randomisation (§5, A.3).
-func (t *Tree) Encode(w io.Writer) error {
+// later fault-injection execution can deserialise it), together with the
+// campaign's traversal state: a leaf is written as visited when claims
+// marks it claimed. Pass a nil ClaimSet to serialise a fresh tree. A
+// round-tripped claim state is what makes campaigns resumable — the
+// restored set's pending snapshot contains exactly the unexplored
+// failure points. Program counters are only stable within one process
+// image — the same constraint that makes the original pre-allocate Pin's
+// memory and disable address-space randomisation (§5, A.3).
+func (t *Tree) Encode(w io.Writer, claims *ClaimSet) error {
 	wt := wireTree{Leaves: make([]wireLeaf, 0, len(t.leaves))}
 	for _, l := range t.leaves {
 		pcs := t.stacks.PCs(l.Stack)
 		cp := make([]uintptr, len(pcs))
 		copy(cp, pcs)
-		wt.Leaves = append(wt.Leaves, wireLeaf{PCs: cp, FirstICount: l.FirstICount, Visited: l.Visited})
+		wt.Leaves = append(wt.Leaves, wireLeaf{
+			PCs:         cp,
+			FirstICount: l.FirstICount,
+			Visited:     claims != nil && claims.Claimed(l),
+		})
 	}
 	return gob.NewEncoder(w).Encode(&wt)
 }
 
 // ReadTree deserialises a tree into the given stack table, rebuilding
-// the trie and re-interning every stack.
-func ReadTree(r io.Reader, stacks *stack.Table) (*Tree, error) {
+// the trie and re-interning every stack. The returned claim set carries
+// the serialised visited marks: leaves injected before the encode are
+// pre-claimed, so a campaign resumed over the restored tree traverses
+// only the remainder.
+func ReadTree(r io.Reader, stacks *stack.Table) (*Tree, *ClaimSet, error) {
 	var wt wireTree
 	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
-		return nil, fmt.Errorf("fpt: decoding tree: %w", err)
+		return nil, nil, fmt.Errorf("fpt: decoding tree: %w", err)
 	}
 	t := New(stacks)
+	visited := make([]*Leaf, 0)
 	for _, wl := range wt.Leaves {
 		id := stacks.Intern(wl.PCs)
 		leaf, added := t.Insert(id, wl.FirstICount)
 		if !added {
-			return nil, fmt.Errorf("fpt: duplicate failure point in serialised tree")
+			return nil, nil, fmt.Errorf("fpt: duplicate failure point in serialised tree")
 		}
-		leaf.Visited = wl.Visited
+		if wl.Visited {
+			visited = append(visited, leaf)
+		}
 	}
-	return t, nil
+	t.Freeze()
+	claims := NewClaimSet(t)
+	for _, l := range visited {
+		claims.Claim(l)
+	}
+	return t, claims, nil
 }

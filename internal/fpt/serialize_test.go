@@ -14,24 +14,33 @@ func TestSerializeRoundTrip(t *testing.T) {
 	tree := New(st)
 	a, _ := tree.Insert(st.Intern([]uintptr{10, 20, 30}), 5)
 	tree.Insert(st.Intern([]uintptr{11, 20, 30}), 9)
-	a.Visited = true
+	tree.Freeze()
+	claims := NewClaimSet(tree)
+	claims.Claim(a)
 
 	var buf bytes.Buffer
-	if err := tree.Encode(&buf); err != nil {
+	if err := tree.Encode(&buf, claims); err != nil {
 		t.Fatal(err)
 	}
 	st2 := stack.NewTable()
-	got, err := ReadTree(&buf, st2)
+	got, restored, err := ReadTree(&buf, st2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Len() != 2 {
 		t.Fatalf("restored %d leaves, want 2", got.Len())
 	}
-	// The visited mark and counters survive; ordering by FirstICount.
-	unvisited := got.Unvisited()
-	if len(unvisited) != 1 || unvisited[0].FirstICount != 9 {
-		t.Fatalf("unvisited after restore: %+v", unvisited)
+	if !got.Frozen() {
+		t.Fatal("restored tree not frozen")
+	}
+	// The claim marks survive; a resumed campaign's pending snapshot
+	// contains only the unexplored leaf, in FirstICount order.
+	pending := restored.Pending()
+	if len(pending) != 1 || pending[0].FirstICount != 9 {
+		t.Fatalf("pending after restore: %+v", pending)
+	}
+	if restored.Remaining() != 1 || restored.ClaimedCount() != 1 {
+		t.Fatalf("restored claims: remaining=%d claimed=%d", restored.Remaining(), restored.ClaimedCount())
 	}
 	// Lookup works against re-interned stacks.
 	if got.Lookup(st2.Intern([]uintptr{10, 20, 30})) == nil {
@@ -40,7 +49,7 @@ func TestSerializeRoundTrip(t *testing.T) {
 }
 
 func TestReadTreeRejectsGarbage(t *testing.T) {
-	if _, err := ReadTree(bytes.NewReader([]byte("not a tree")), stack.NewTable()); err == nil {
+	if _, _, err := ReadTree(bytes.NewReader([]byte("not a tree")), stack.NewTable()); err == nil {
 		t.Fatal("garbage input accepted")
 	}
 }
@@ -64,14 +73,15 @@ func TestPropertySerializePreservesLeaves(t *testing.T) {
 			tree.Insert(st.Intern(pcs), ic)
 		}
 		var buf bytes.Buffer
-		if err := tree.Encode(&buf); err != nil {
+		if err := tree.Encode(&buf, nil); err != nil {
 			return false
 		}
-		got, err := ReadTree(&buf, stack.NewTable())
+		got, claims, err := ReadTree(&buf, stack.NewTable())
 		if err != nil {
 			return false
 		}
-		return got.Len() == tree.Len() && got.Nodes() == tree.Nodes()
+		return got.Len() == tree.Len() && got.Nodes() == tree.Nodes() &&
+			claims.Remaining() == got.Len()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

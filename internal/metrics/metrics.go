@@ -195,6 +195,96 @@ func ResetSandboxCounters() {
 	sandboxRecoveryHangs.Store(0)
 }
 
+// Injection-campaign counters, split by mode. Every analysis folds its
+// campaign shape in here — worker count, replays, claim contention, and
+// worker busy time versus campaign wall time — so harnesses and the
+// parallelism benches can observe process-wide how well each mode's
+// fan-out is utilised (busy/wall ≈ workers means full utilisation) and
+// that the lock-free claim traversal stays contention-free.
+type campaignCounters struct {
+	campaigns  atomic.Int64
+	workers    atomic.Int64 // sum over campaigns; average = workers/campaigns
+	replays    atomic.Int64
+	contention atomic.Int64
+	busyNanos  atomic.Int64
+	wallNanos  atomic.Int64
+}
+
+var counterCampaigns, stackCampaigns campaignCounters
+
+func campaignFor(stackMode bool) *campaignCounters {
+	if stackMode {
+		return &stackCampaigns
+	}
+	return &counterCampaigns
+}
+
+// RecordCampaign accumulates one injection campaign's shape: its mode,
+// worker count, consumed replays, observed claim contention, summed
+// worker busy time and campaign wall time. Safe for concurrent runs.
+func RecordCampaign(stackMode bool, workers, replays, contention int, busy, wall time.Duration) {
+	c := campaignFor(stackMode)
+	c.campaigns.Add(1)
+	c.workers.Add(int64(workers))
+	c.replays.Add(int64(replays))
+	c.contention.Add(int64(contention))
+	c.busyNanos.Add(int64(busy))
+	c.wallNanos.Add(int64(wall))
+}
+
+// CampaignStats is the process-wide per-mode campaign aggregate.
+type CampaignStats struct {
+	// Campaigns is the number of campaigns recorded.
+	Campaigns int
+	// Workers sums the worker counts across campaigns.
+	Workers int
+	// Replays is the total number of injection replays consumed.
+	Replays int
+	// ClaimContention is the total number of lost claim races observed
+	// by the failure-point claim sets; zero when traversal partitioning
+	// is sound.
+	ClaimContention int
+	// Busy is the summed worker busy time; Wall the summed campaign
+	// wall time. Busy/Wall is the average worker utilisation (≈ the
+	// average worker count under full fan-out, ≤ 1 for serial runs).
+	Busy, Wall time.Duration
+}
+
+// Utilization returns Busy/Wall, the average number of busy workers
+// over the campaign; 0 when nothing was recorded.
+func (s CampaignStats) Utilization() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Wall)
+}
+
+// CampaignCounters returns the per-mode campaign totals recorded since
+// the last reset.
+func CampaignCounters(stackMode bool) CampaignStats {
+	c := campaignFor(stackMode)
+	return CampaignStats{
+		Campaigns:       int(c.campaigns.Load()),
+		Workers:         int(c.workers.Load()),
+		Replays:         int(c.replays.Load()),
+		ClaimContention: int(c.contention.Load()),
+		Busy:            time.Duration(c.busyNanos.Load()),
+		Wall:            time.Duration(c.wallNanos.Load()),
+	}
+}
+
+// ResetCampaignCounters zeroes both modes' campaign totals.
+func ResetCampaignCounters() {
+	for _, c := range []*campaignCounters{&counterCampaigns, &stackCampaigns} {
+		c.campaigns.Store(0)
+		c.workers.Store(0)
+		c.replays.Store(0)
+		c.contention.Store(0)
+		c.busyNanos.Store(0)
+		c.wallNanos.Store(0)
+	}
+}
+
 // Crash-image verdict-cache counters. Every analysis folds its campaign
 // cache traffic in here so harnesses and the dedup benches can observe
 // process-wide how many recovery runs the cache elided.
