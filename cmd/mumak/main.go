@@ -66,6 +66,7 @@ func main() {
 		hangBudget = flag.Uint64("hang-budget", 0, "PM events one execution may emit before the hang watchdog kills it (0 = default)")
 		recTimeout = flag.Duration("recovery-timeout", 0, "wall-clock watchdog per recovery-oracle invocation (0 = default)")
 		imageCache = flag.Int("image-cache", core.DefaultImageCacheSize, "crash-image verdict cache capacity: identical crash images reuse one recovery verdict (0 disables)")
+		ckptEvery  = flag.Int("checkpoint-interval", core.DefaultCheckpointInterval, "engine events between full-state checkpoints of the instrumented run; counter-mode replays restore from the nearest checkpoint instead of re-executing the prefix (0 disables)")
 		exitZero   = flag.Bool("exit-zero", false, "exit 0 even when bugs were found (smoke tests that assert findings without failing the step)")
 	)
 	flag.Parse()
@@ -117,16 +118,21 @@ func main() {
 	if cacheSize <= 0 {
 		cacheSize = -1 // flag 0 means "off"; Config 0 means "default"
 	}
+	ckptInterval := *ckptEvery
+	if ckptInterval <= 0 {
+		ckptInterval = -1 // flag 0 means "off"; Config 0 means "default"
+	}
 	res, err := core.Analyze(app, w, core.Config{
-		Granularity:     gran,
-		Budget:          *budget,
-		StackMode:       *stackMode,
-		Workers:         *workers,
-		KeepWarnings:    *warnings,
-		EADR:            *eadr,
-		HangBudget:      *hangBudget,
-		RecoveryTimeout: *recTimeout,
-		ImageCacheSize:  cacheSize,
+		Granularity:        gran,
+		Budget:             *budget,
+		StackMode:          *stackMode,
+		Workers:            *workers,
+		KeepWarnings:       *warnings,
+		EADR:               *eadr,
+		HangBudget:         *hangBudget,
+		RecoveryTimeout:    *recTimeout,
+		ImageCacheSize:     cacheSize,
+		CheckpointInterval: ckptInterval,
 	})
 	if err != nil {
 		fatal(err)
@@ -178,6 +184,10 @@ func main() {
 		fmt.Printf("image cache: %d hit(s), %d miss(es) (%.1f%% hit rate, %d image(s) cached)\n",
 			res.ImageCacheHits, res.ImageCacheMisses,
 			100*float64(res.ImageCacheHits)/float64(lookups), res.ImageCacheEntries)
+	}
+	if res.Checkpoints > 0 || res.CheckpointRestores > 0 {
+		fmt.Printf("checkpoints: %d snapshot(s), ~%d KiB resident, %d replay(s) served by restore\n",
+			res.Checkpoints, res.CheckpointBytes>>10, res.CheckpointRestores)
 	}
 	if res.CampaignWorkers > 1 && res.InjectTime > 0 {
 		fmt.Printf("campaign workers: %d (avg %.1f busy, claim contention %d)\n",

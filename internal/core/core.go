@@ -46,6 +46,18 @@ const (
 	DefaultRecoveryTimeout = 30 * time.Second
 )
 
+// DefaultCheckpointInterval is the default spacing, in engine events,
+// of the full-state checkpoints the instrumented run records for
+// counter-mode fault injection (Config.CheckpointInterval overrides
+// it). It balances replay cost, which grows with the gap back to the
+// nearest checkpoint, against recording cost and resident snapshot
+// state: gap replay applies logged mutations at tens of millions of
+// events per second, so wide spacing costs little replay time while
+// shrinking the store (each persisted line is retained at most once per
+// interval it changed in). See results/checkpointed_replay.txt for the
+// tuning sweep.
+const DefaultCheckpointInterval = 65536
+
 // Config tunes the analysis.
 type Config struct {
 	// Granularity selects the failure-point definition (§4.1);
@@ -96,11 +108,35 @@ type Config struct {
 	// disables caching. Reports are identical either way — only the
 	// redundant recovery runs are skipped.
 	ImageCacheSize int
+	// CheckpointInterval is the spacing, in engine events, of the
+	// full-state checkpoints the instrumented run records so that
+	// counter-mode replays restore from the nearest checkpoint and
+	// replay only the gap of logged mutations, instead of re-executing
+	// the workload from scratch per failure point. Zero selects
+	// DefaultCheckpointInterval; a negative value disables
+	// checkpointing (replays re-execute, the pre-checkpoint behaviour).
+	// Reports are byte-identical either way — the restored engine state
+	// is exactly the from-scratch crash state. Stack mode ignores it:
+	// stack-matching needs the application actually executing.
+	CheckpointInterval int
 	// unsandboxed restores the pre-sandbox execution path — target
 	// panics propagate and no watchdogs run. It exists only so
 	// package-internal differential tests can prove the sandbox leaves
 	// clean-target reports byte-identical.
 	unsandboxed bool
+}
+
+// checkpointEvery resolves CheckpointInterval to the engine option: the
+// default when zero, disabled (0) when negative.
+func (cfg Config) checkpointEvery() uint64 {
+	switch {
+	case cfg.CheckpointInterval < 0:
+		return 0
+	case cfg.CheckpointInterval == 0:
+		return DefaultCheckpointInterval
+	default:
+		return uint64(cfg.CheckpointInterval)
+	}
 }
 
 // Result is the outcome of one analysis.
@@ -178,6 +214,18 @@ type Result struct {
 	// in the verdict cache when the campaign ended (bounded by
 	// ImageCacheSize).
 	ImageCacheEntries int
+	// Checkpoints is the number of full-state checkpoints the
+	// instrumented run recorded; CheckpointBytes approximates their
+	// resident size (mutation log plus snapshots, shared COW bases
+	// counted once). Both are zero when checkpointing was disabled or
+	// inapplicable (stack mode, fault injection disabled).
+	Checkpoints     int
+	CheckpointBytes uint64
+	// CheckpointRestores counts injections served by a checkpoint
+	// restore plus mutation-log gap replay instead of a from-scratch
+	// re-execution. With checkpointing enabled in counter mode it
+	// equals Injections.
+	CheckpointRestores int
 	// AnalyzerPeakLines is the online analyzer's peak number of
 	// simultaneously tracked cache lines (zero when trace analysis was
 	// disabled).
@@ -246,6 +294,13 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 		opts.MaxEvents = sb.budget
 		opts.Deadline = sb.deadline
 	}
+	// Record checkpoints during the instrumented run when the upcoming
+	// campaign can use them: counter-mode replays restore engine state
+	// directly, while stack mode must re-execute the application to
+	// match call stacks, so recording would only cost memory there.
+	if !cfg.DisableFaultInjection && !cfg.StackMode {
+		opts.CheckpointEvery = cfg.checkpointEvery()
+	}
 	eng, sout := execute(app, w, opts, sb, hooks...)
 	res.EngineEvents += eng.Events()
 	switch {
@@ -286,10 +341,18 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 		res.TraceLen = counter.events
 	}
 
-	// Phase 2: fault injection with the recovery oracle.
+	// Phase 2: fault injection with the recovery oracle. The checkpoint
+	// store recorded by the instrumented run (nil when disabled) is
+	// frozen here — read-only from now on — and shared across campaign
+	// workers like the tree and the verdict cache.
 	if !cfg.DisableFaultInjection {
+		ckpts := eng.Checkpoints()
+		if ckpts != nil {
+			res.Checkpoints = ckpts.Count()
+			res.CheckpointBytes = ckpts.Bytes()
+		}
 		t0 = time.Now()
-		res.TimedOut = injectAll(app, w, tree, cfg, rep, res, deadline) || res.TimedOut
+		res.TimedOut = injectAll(app, w, tree, cfg, rep, res, deadline, ckpts) || res.TimedOut
 		res.InjectTime = time.Since(t0)
 	}
 
@@ -312,6 +375,7 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 
 	metrics.RecordSandbox(res.TargetPanics, res.TargetHangs, res.RecoveryHangs)
 	metrics.RecordImageCache(res.ImageCacheHits, res.ImageCacheMisses)
+	metrics.RecordCheckpoints(res.Checkpoints, res.CheckpointBytes, res.CheckpointRestores)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 	"unicode/utf8"
 
@@ -184,7 +186,8 @@ const replayDuring = "a fault-injection replay"
 // a watchdog kill becomes a TargetCrash or RecoveryHang finding instead
 // of crashing or stalling the tool.
 func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
-	cfg Config, rep *report.Report, res *Result, deadline time.Time) (timedOut bool) {
+	cfg Config, rep *report.Report, res *Result, deadline time.Time,
+	ckpts *pmem.CheckpointStore) (timedOut bool) {
 
 	sb := cfg.sandbox(deadline)
 	// One verdict cache per campaign: application, workload and recovery
@@ -215,9 +218,9 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	}
 	res.CampaignWorkers = workers
 	if workers > 1 {
-		return injectParallel(app, w, cs, tree.Stacks(), mode, cfg, rep, res, sb, cache, workers)
+		return injectParallel(app, w, cs, tree.Stacks(), mode, cfg, rep, res, sb, cache, ckpts, workers)
 	}
-	return injectSerial(app, w, cs, tree.Stacks(), mode, cfg, rep, res, sb, cache)
+	return injectSerial(app, w, cs, tree.Stacks(), mode, cfg, rep, res, sb, cache, ckpts)
 }
 
 // replayOutcome is the result of replaying one leaf on a private engine.
@@ -240,6 +243,10 @@ type replayOutcome struct {
 	// injected reports that the replay reached the failure point and
 	// crashed there.
 	injected bool
+	// restored reports that the crash state came from a checkpoint
+	// restore plus a mutation-log gap replay, not a from-scratch
+	// re-execution of the workload.
+	restored bool
 	// recovered reports that the recovery oracle ran.
 	recovered bool
 	// skipReason is non-empty when the leaf was consumed without an
@@ -269,13 +276,18 @@ type replayOutcome struct {
 // replayFuel bounds one counter-mode replay. The replay crashes at
 // exactly leaf.FirstICount events when the target is deterministic, so
 // the slack-padded counter is a far tighter (and still deterministic)
-// budget than the campaign-wide one.
+// budget than the campaign-wide one. The sum saturates at MaxUint64
+// instead of wrapping: a wrapped (tiny) fuel value would kill a healthy
+// replay long before its failure point and misreport it as a hang. The
+// campaign budget caps the fuel only when it still lets the replay
+// reach its counter — a budget at or below FirstICount can never
+// produce anything but that same phantom hang.
 func replayFuel(budget, firstICount uint64) uint64 {
 	fuel := firstICount + replayFuelSlack
-	if fuel < firstICount { // overflow
-		return budget
+	if fuel < firstICount { // overflow: saturate
+		fuel = math.MaxUint64
 	}
-	if budget != 0 && budget < fuel {
+	if budget != 0 && budget > firstICount && budget < fuel {
 		return budget
 	}
 	return fuel
@@ -292,8 +304,12 @@ func replayFuel(budget, firstICount uint64) uint64 {
 // are all private to the call, the tree is frozen, and the shared
 // verdict cache is concurrency-safe.
 func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
-	stacks *stack.Table, mode campaignMode, sb sandboxCfg, cache *imageCache) replayOutcome {
+	stacks *stack.Table, mode campaignMode, sb sandboxCfg, cache *imageCache,
+	ckpts *pmem.CheckpointStore) replayOutcome {
 
+	if !mode.stack && ckpts != nil {
+		return replayCheckpointed(app, leaf, sb, cache, ckpts)
+	}
 	out := replayOutcome{executed: true}
 	opts := pmem.Options{Capture: mode.capture, Stacks: stacks}
 	var hooks []pmem.Hook
@@ -351,16 +367,64 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 		return out
 	}
 	out.injected = true
+	finishInjected(app, eng, leaf, sres.Sig.ICount, sb, cache, &out)
+	return out
+}
 
-	// Run the vanilla, uninstrumented recovery procedure over the
-	// graceful-crash image (§4.1), bounded by the hang watchdog. The
-	// verdict cache is consulted first: when an identical image was
-	// already checked, the memoised verdict stands in for the recovery
-	// run and the image is never even materialised.
+// replayCheckpointed is the counter-mode fast path: instead of
+// re-executing the workload up to the failure point, it restores engine
+// state from the recorded run's nearest checkpoint below the leaf's
+// counter and applies only the mutation-log gap — O(gap since
+// checkpoint) instead of O(prefix), with no application code at all.
+// The restored engine is byte-identical to a from-scratch replay
+// crashed at the same counter (checkpoint.go), so the crash image, the
+// verdict-cache key and the resulting findings are exactly those of the
+// legacy path.
+func replayCheckpointed(app harness.Application, leaf *fpt.Leaf,
+	sb sandboxCfg, cache *imageCache, ckpts *pmem.CheckpointStore) replayOutcome {
+
+	out := replayOutcome{executed: true}
+	deadline := sb.deadline
+	if sb.disabled {
+		deadline = time.Time{}
+	}
+	eng, gap, err := ckpts.ReplayTo(leaf.FirstICount, deadline)
+	switch {
+	case errors.Is(err, pmem.ErrReplayDeadline):
+		out.deadlineHit = true
+		return out
+	case err != nil:
+		// The recorded run's log ends before this counter. It cannot
+		// happen for leaves of the tree that same run built (every
+		// failure point is a logged persistency event), but stays an
+		// honest per-leaf skip, with the same wording as a from-scratch
+		// replay that fell short.
+		out.skipReason = "target instruction counter never reached on replay"
+		return out
+	}
+	// The gap is the deterministic measure of replayed work, mirroring
+	// the instruction events a from-scratch replay would have spent on
+	// the same stretch.
+	out.events = gap
+	out.restored = true
+	out.injected = true
+	finishInjected(app, eng, leaf, leaf.FirstICount, sb, cache, &out)
+	return out
+}
+
+// finishInjected runs the oracle tail shared by every injected replay:
+// the vanilla, uninstrumented recovery procedure over the
+// graceful-crash image (§4.1), bounded by the hang watchdog. The
+// verdict cache is consulted first: when an identical image was already
+// checked, the memoised verdict stands in for the recovery run and the
+// image is never even materialised.
+func finishInjected(app harness.Application, eng *pmem.Engine, leaf *fpt.Leaf,
+	icount uint64, sb sandboxCfg, cache *imageCache, out *replayOutcome) {
+
 	check, ddl, hit := cachedCheck(app, eng, sb, cache)
 	if ddl {
 		out.deadlineHit = true
-		return out
+		return
 	}
 	out.recovered = true
 	if cache != nil {
@@ -380,12 +444,11 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 		}
 		out.finding = &report.Finding{
 			Kind:   kind,
-			ICount: sres.Sig.ICount,
+			ICount: icount,
 			Stack:  leaf.Stack,
 			Detail: detail,
 		}
 	}
-	return out
 }
 
 // replayLeafWithRetry replays a leaf, retrying a bounded number of times
@@ -395,15 +458,16 @@ func replayLeaf(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
 // The retry policy is mode-agnostic: both campaigns share it, so a
 // flaky replay costs the same bounded tolerance either way.
 func replayLeafWithRetry(app harness.Application, w workload.Workload, leaf *fpt.Leaf,
-	stacks *stack.Table, mode campaignMode, sb sandboxCfg, cache *imageCache) replayOutcome {
+	stacks *stack.Table, mode campaignMode, sb sandboxCfg, cache *imageCache,
+	ckpts *pmem.CheckpointStore) replayOutcome {
 
-	out := replayLeaf(app, w, leaf, stacks, mode, sb, cache)
+	out := replayLeaf(app, w, leaf, stacks, mode, sb, cache, ckpts)
 	for attempt := 1; attempt <= maxLeafRetries && out.skipReason != ""; attempt++ {
 		if !sb.deadline.IsZero() && !time.Now().Before(sb.deadline) {
 			break
 		}
 		time.Sleep(time.Duration(attempt) * retryBackoff)
-		next := replayLeaf(app, w, leaf, stacks, mode, sb, cache)
+		next := replayLeaf(app, w, leaf, stacks, mode, sb, cache, ckpts)
 		next.events += out.events
 		next.retries = out.retries + 1
 		out = next
@@ -438,6 +502,9 @@ func consumeOutcome(leaf *fpt.Leaf, out replayOutcome, rep *report.Report, res *
 		return
 	}
 	res.Injections++
+	if out.restored {
+		res.CheckpointRestores++
+	}
 	if out.recovered {
 		res.Recoveries++
 	}
@@ -507,7 +574,7 @@ func (m *mergeState) consume(leaf *fpt.Leaf, out replayOutcome) (abort bool) {
 // arbitrarily.
 func injectSerial(app harness.Application, w workload.Workload, cs *fpt.ClaimSet,
 	stacks *stack.Table, mode campaignMode, cfg Config, rep *report.Report, res *Result,
-	sb sandboxCfg, cache *imageCache) (timedOut bool) {
+	sb sandboxCfg, cache *imageCache, ckpts *pmem.CheckpointStore) (timedOut bool) {
 
 	m := &mergeState{mode: mode, cfg: cfg, rep: rep, res: res}
 	for {
@@ -522,7 +589,7 @@ func injectSerial(app harness.Application, w workload.Workload, cs *fpt.ClaimSet
 			return false
 		}
 		t0 := time.Now()
-		out := replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache)
+		out := replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache, ckpts)
 		res.WorkerBusy += time.Since(t0)
 		if out.deadlineHit {
 			// The mid-replay watchdog cut the replay short: the failure

@@ -66,7 +66,7 @@ func TestCounterModeCountsUnreachedCounter(t *testing.T) {
 
 	rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
 	res := &Result{Report: rep}
-	if timedOut := injectAll(app, w, tree, Config{}, rep, res, time.Time{}); timedOut {
+	if timedOut := injectAll(app, w, tree, Config{}, rep, res, time.Time{}, nil); timedOut {
 		t.Fatal("unexpected timeout")
 	}
 	if res.SkippedFailurePoints != 1 {
@@ -93,7 +93,7 @@ func TestCounterModeCountsFailedReplays(t *testing.T) {
 		rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
 		res := &Result{Report: rep}
 		bad := failingApp{app}
-		if timedOut := injectAll(bad, w, tree, Config{Workers: workers}, rep, res, time.Time{}); timedOut {
+		if timedOut := injectAll(bad, w, tree, Config{Workers: workers}, rep, res, time.Time{}, nil); timedOut {
 			t.Fatal("unexpected timeout")
 		}
 		if res.Injections != 0 || res.Recoveries != 0 {
@@ -123,7 +123,7 @@ func TestStackModeAbortsAfterNoProgress(t *testing.T) {
 	// A short deadline turns a regressed livelock into a test failure
 	// (timedOut=true) instead of a hang.
 	deadline := time.Now().Add(30 * time.Second)
-	timedOut := injectAll(bad, w, tree, Config{StackMode: true}, rep, res, deadline)
+	timedOut := injectAll(bad, w, tree, Config{StackMode: true}, rep, res, deadline, nil)
 	if timedOut {
 		t.Fatal("campaign hit the deadline: no-progress retries were not bounded")
 	}

@@ -1,14 +1,15 @@
 // Parallel fault injection, both modes.
 //
-// Every replay is independent: it builds a fresh private pmem.Engine,
-// re-runs the deterministic workload, crashes it at the claimed leaf's
-// failure point (the recorded instruction counter, or a private
-// stack-matching injector over the frozen tree) and hands the
-// graceful-crash image to a private recovery engine. Nothing but the
-// read-only workload, the stateless application value, the immutable
-// tree, the (concurrency-safe) stack table and the verdict cache is
-// shared, so the campaign — the hot path of the whole analysis — fans
-// out across a bounded worker pool.
+// Every replay is independent: it builds a fresh private pmem.Engine —
+// restored from the recorded run's nearest checkpoint (counter mode) or
+// by re-running the deterministic workload with a private
+// stack-matching injector over the frozen tree (stack mode) — crashes
+// it at the claimed leaf's failure point and hands the graceful-crash
+// image to a private recovery engine. Nothing but the read-only
+// workload, the stateless application value, the immutable tree, the
+// (concurrency-safe) stack table, the read-only checkpoint store and
+// the verdict cache is shared, so the campaign — the hot path of the
+// whole analysis — fans out across a bounded worker pool.
 //
 // Determinism is preserved by separating claiming and execution from
 // merging: workers take leaves from the ClaimSet in any interleaving,
@@ -29,6 +30,7 @@ import (
 
 	"mumak/internal/fpt"
 	"mumak/internal/harness"
+	"mumak/internal/pmem"
 	"mumak/internal/report"
 	"mumak/internal/stack"
 	"mumak/internal/workload"
@@ -40,7 +42,7 @@ import (
 // every leaf was consumed.
 func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimSet,
 	stacks *stack.Table, mode campaignMode, cfg Config, rep *report.Report, res *Result,
-	sb sandboxCfg, cache *imageCache, workers int) (timedOut bool) {
+	sb sandboxCfg, cache *imageCache, ckpts *pmem.CheckpointStore, workers int) (timedOut bool) {
 
 	pending := cs.Pending()
 	n := len(pending)
@@ -82,7 +84,7 @@ func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimS
 					return
 				}
 				t0 := time.Now()
-				outcomes[i] = replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache)
+				outcomes[i] = replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache, ckpts)
 				busy.Add(int64(time.Since(t0)))
 				close(done[i])
 			}

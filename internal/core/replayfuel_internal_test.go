@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// replayFuel regressions: the slack-padded counter must saturate
+// instead of wrapping, and the campaign budget may only cap the fuel
+// when the replay can still reach its failure point — a budget at or
+// below FirstICount would guarantee a phantom hang finding.
+func TestReplayFuel(t *testing.T) {
+	cases := []struct {
+		name                string
+		budget, firstICount uint64
+		want                uint64
+	}{
+		{"normal", 1 << 28, 100, 100 + replayFuelSlack},
+		{"budget caps", 100 + 10, 100, 110},
+		{"budget at counter ignored", 100, 100, 100 + replayFuelSlack},
+		{"budget below counter ignored", 50, 100, 100 + replayFuelSlack},
+		{"no budget", 0, 100, 100 + replayFuelSlack},
+		{"overflow saturates", 1 << 28, math.MaxUint64 - 100, math.MaxUint64},
+		{"overflow with huge budget", math.MaxUint64, math.MaxUint64 - 100, math.MaxUint64},
+		{"near-overflow exact", 0, math.MaxUint64 - replayFuelSlack, math.MaxUint64},
+	}
+	for _, tc := range cases {
+		if got := replayFuel(tc.budget, tc.firstICount); got != tc.want {
+			t.Errorf("%s: replayFuel(%d, %d) = %d, want %d",
+				tc.name, tc.budget, tc.firstICount, got, tc.want)
+		}
+		if got := replayFuel(tc.budget, tc.firstICount); got < tc.firstICount {
+			t.Errorf("%s: fuel %d below the failure point %d — the replay can never inject",
+				tc.name, got, tc.firstICount)
+		}
+	}
+}

@@ -68,7 +68,7 @@ func TestReplayHonoursDeadlineMidReplay(t *testing.T) {
 		deadline: time.Now().Add(100 * time.Millisecond),
 	}
 	start := time.Now()
-	out := replayLeaf(app, w, leaf, stacks, Config{}.campaignMode(), sb, nil)
+	out := replayLeaf(app, w, leaf, stacks, Config{}.campaignMode(), sb, nil, nil)
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Fatalf("replay ran %s past a 100ms deadline", elapsed)
 	}
@@ -126,7 +126,7 @@ func TestLeafRetryRecoversTransientFailure(t *testing.T) {
 	// actually exercised (early leaves crash during Setup, before Run).
 	leaf := leaves[len(leaves)-1]
 	flaky := &flakyApp{Application: testTarget(), failures: 1}
-	out := replayLeafWithRetry(flaky, w, leaf, stacks, Config{}.campaignMode(), Config{}.sandbox(time.Time{}), nil)
+	out := replayLeafWithRetry(flaky, w, leaf, stacks, Config{}.campaignMode(), Config{}.sandbox(time.Time{}), nil, nil)
 	if out.retries != 1 {
 		t.Errorf("retries = %d, want 1", out.retries)
 	}
@@ -143,7 +143,7 @@ func TestCampaignCountsRetries(t *testing.T) {
 	rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
 	res := &Result{Report: rep}
 	flaky := &flakyApp{Application: testTarget(), failures: 1}
-	if timedOut := injectAll(flaky, w, tree, Config{}, rep, res, time.Time{}); timedOut {
+	if timedOut := injectAll(flaky, w, tree, Config{}, rep, res, time.Time{}, nil); timedOut {
 		t.Fatal("unexpected timeout")
 	}
 	if res.RetriedFailurePoints != 1 {

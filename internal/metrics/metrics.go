@@ -311,3 +311,36 @@ func ResetImageCacheCounters() {
 	imageCacheHits.Store(0)
 	imageCacheMisses.Store(0)
 }
+
+// Checkpointed-replay counters. Every analysis folds its checkpoint
+// recording and restore traffic in here so harnesses can observe
+// process-wide how much prefix re-execution the checkpoint store
+// elided.
+var (
+	checkpointSnapshots atomic.Int64
+	checkpointBytes     atomic.Int64
+	checkpointRestores  atomic.Int64
+)
+
+// RecordCheckpoints accumulates one analysis run's checkpoint activity:
+// snapshots recorded, approximate resident bytes, and injections served
+// by a restore instead of a from-scratch replay. Safe for concurrent
+// runs.
+func RecordCheckpoints(snapshots int, bytes uint64, restores int) {
+	checkpointSnapshots.Add(int64(snapshots))
+	checkpointBytes.Add(int64(bytes))
+	checkpointRestores.Add(int64(restores))
+}
+
+// CheckpointCounters returns the process-wide checkpointing totals
+// recorded since the last reset.
+func CheckpointCounters() (snapshots int, bytes uint64, restores int) {
+	return int(checkpointSnapshots.Load()), uint64(checkpointBytes.Load()), int(checkpointRestores.Load())
+}
+
+// ResetCheckpointCounters zeroes the checkpointing totals.
+func ResetCheckpointCounters() {
+	checkpointSnapshots.Store(0)
+	checkpointBytes.Store(0)
+	checkpointRestores.Store(0)
+}

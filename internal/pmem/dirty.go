@@ -64,8 +64,19 @@ func lineContrib(base uint64, ln []byte) uint64 {
 // carry their hash already.
 func ContentHash(data []byte) uint64 {
 	var h uint64
-	for base := 0; base+CacheLineSize <= len(data); base += CacheLineSize {
+	n := len(data) &^ (CacheLineSize - 1)
+	for base := 0; base < n; base += CacheLineSize {
 		h ^= lineContrib(uint64(base), data[base:base+CacheLineSize])
+	}
+	// Fold a trailing partial line zero-padded to line size. Engine
+	// pools are always line-aligned (withDefaults rounds up), but
+	// hand-built images need not be; ignoring the tail would let two
+	// images differing only there collide, and a hash collision is a
+	// verdict-cache correctness issue, not just a quality issue.
+	if rem := len(data) - n; rem > 0 {
+		var tail [CacheLineSize]byte
+		copy(tail[:], data[n:])
+		h ^= lineContrib(uint64(n), tail[:])
 	}
 	return h
 }
@@ -128,6 +139,12 @@ func (e *Engine) endMediumWrite(base uint64) {
 	e.mediumHash ^= lineContrib(base, e.medium[base:base+CacheLineSize])
 	if e.snapBase != nil {
 		e.snapDirty[base] = struct{}{}
+	}
+	if e.ckpt != nil {
+		e.ckpt.dirty[base] = struct{}{}
+	}
+	if end := int(base) + CacheLineSize; end > e.mediumMax {
+		e.mediumMax = end
 	}
 }
 

@@ -234,3 +234,32 @@ func TestStoreMask(t *testing.T) {
 		}
 	}
 }
+
+// ContentHash must not ignore a trailing partial line: two unaligned
+// buffers differing only past the last full line would otherwise hash
+// identically, and the verdict cache would serve one's recovery verdict
+// for the other. The tail is folded zero-padded, so padding a buffer
+// out to the line size explicitly is hash-neutral.
+func TestContentHashCoversPartialTail(t *testing.T) {
+	data := make([]byte, 3*CacheLineSize+17)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	twin := append([]byte(nil), data...)
+	twin[len(twin)-1] ^= 0xff // diverge only inside the partial tail
+	if ContentHash(data) == ContentHash(twin) {
+		t.Fatal("buffers differing only in the trailing partial line hash identically")
+	}
+	padded := append(append([]byte(nil), data...), make([]byte, CacheLineSize-17)...)
+	if ContentHash(data) != ContentHash(padded) {
+		t.Fatal("zero-padding the tail to a full line changed the hash")
+	}
+	if got := ContentHash(data[:3*CacheLineSize]); got == ContentHash(data) {
+		t.Fatal("dropping a non-zero tail did not change the hash")
+	}
+	// And the Image path agrees: a hand-built unaligned image hashes
+	// like its raw bytes.
+	if NewImage(data).Hash() != ContentHash(data) {
+		t.Fatal("Image.Hash diverges from ContentHash on unaligned data")
+	}
+}

@@ -55,17 +55,31 @@ type Engine struct {
 	// over the medium, maintained incrementally at each line write so
 	// image content keys never require a full-pool scan.
 	mediumHash uint64
+
+	// mediumMax is the medium high-water mark: the end offset of the
+	// highest line ever persisted. Checkpoint restores copy only
+	// [0, mediumMax), keeping restore cost proportional to the pool
+	// actually touched rather than the pool size.
+	mediumMax int
+	// ckpt, when non-nil, records every state mutation (and periodic
+	// full-state snapshots) as this engine executes, for O(gap)
+	// counter-mode replays. See checkpoint.go.
+	ckpt *CheckpointStore
 }
 
 // NewEngine creates an engine over a zeroed pool.
 func NewEngine(opts Options) *Engine {
 	o := opts.withDefaults()
-	return &Engine{
+	e := &Engine{
 		opts:   o,
 		medium: make([]byte, o.PoolSize),
 		lines:  make(map[uint64]*line),
 		rng:    rand.New(rand.NewSource(o.Seed)),
 	}
+	if o.CheckpointEvery > 0 {
+		e.ckpt = newCheckpointStore(o, o.CheckpointEvery)
+	}
+	return e
 }
 
 // NewEngineFromImage creates an engine whose medium is initialised from a
@@ -80,7 +94,34 @@ func NewEngineFromImage(opts Options, img *Image) *Engine {
 	// snapshots stay hash-tracked; engine-produced images carry the
 	// hash already, making this O(1) on the oracle path.
 	e.mediumHash = img.Hash()
+	// The image may hold data anywhere in the pool; the watermark
+	// optimisation only applies to engines grown from a zeroed pool.
+	e.mediumMax = len(e.medium)
+	if e.ckpt != nil {
+		// A recording engine seeded from an image starts its delta
+		// chain here, not at a zeroed pool: the genesis checkpoint must
+		// carry the image as its base state.
+		e.ckpt.base = append([]byte(nil), e.medium...)
+		e.ckpt.cps[0].hash = e.mediumHash
+		e.ckpt.cps[0].touched = e.mediumMax
+	}
 	return e
+}
+
+// Checkpoints returns the checkpoint store recorded by this engine's
+// execution, or nil when Options.CheckpointEvery was zero. The store
+// must be considered read-only once the recorded run has finished.
+func (e *Engine) Checkpoints() *CheckpointStore { return e.ckpt }
+
+// maybeCheckpoint snapshots full engine state once the instruction
+// counter reaches the next checkpoint due point. It must run only after
+// the current instruction's mutations (including seeded evictions) have
+// fully applied, so the snapshot is exactly the state a crash strictly
+// after this counter would observe.
+func (e *Engine) maybeCheckpoint() {
+	if e.ckpt != nil && e.icount >= e.ckpt.nextAt {
+		e.ckpt.take(e)
+	}
 }
 
 // Size returns the pool size in bytes.
@@ -211,8 +252,12 @@ func (e *Engine) Store(addr uint64, data []byte) {
 	e.emit(OpStore, addr, len(data), data)
 	e.stats.Stores++
 	e.stats.BytesStored += uint64(len(data))
+	if e.ckpt != nil {
+		e.ckpt.record(ckStore, e.icount, addr, data)
+	}
 	e.applyStore(addr, data)
 	e.maybeEvict()
+	e.maybeCheckpoint()
 }
 
 func (e *Engine) applyStore(addr uint64, data []byte) {
@@ -250,9 +295,18 @@ func (e *Engine) NTStore(addr uint64, data []byte) {
 	e.stats.Stores++
 	e.stats.NTStores++
 	e.stats.BytesStored += uint64(len(data))
-	// Materialise the write as pending line images without dirtying the
-	// cache. If the line is currently cached, keep its volatile copy
-	// coherent so subsequent loads observe the new data.
+	if e.ckpt != nil {
+		e.ckpt.record(ckNTStore, e.icount, addr, data)
+	}
+	e.applyNTStore(addr, data)
+	e.maybeCheckpoint()
+}
+
+// applyNTStore is the state mutation of NTStore: it materialises the
+// write as pending line images without dirtying the cache. If the line
+// is currently cached, the volatile copy is kept coherent so subsequent
+// loads observe the new data.
+func (e *Engine) applyNTStore(addr uint64, data []byte) {
 	for len(data) > 0 {
 		base := addr &^ (CacheLineSize - 1)
 		off := addr - base
@@ -351,8 +405,17 @@ func (e *Engine) CLFlush(addr uint64) {
 	base := addr &^ (CacheLineSize - 1)
 	e.emit(OpCLFlush, base, CacheLineSize, nil)
 	e.stats.Flushes++
-	// x86 orders flushes of the same line with each other: earlier
-	// asynchronous write-backs of this line complete first.
+	if e.ckpt != nil {
+		e.ckpt.record(ckCLFlush, e.icount, base, nil)
+	}
+	e.applyCLFlush(base)
+	e.maybeCheckpoint()
+}
+
+// applyCLFlush is the state mutation of CLFlush. x86 orders flushes of
+// the same line with each other: earlier asynchronous write-backs of
+// this line complete first.
+func (e *Engine) applyCLFlush(base uint64) {
 	if len(e.queue) > 0 {
 		kept := e.queue[:0]
 		for i := range e.queue {
@@ -387,6 +450,20 @@ func (e *Engine) flushAsync(addr uint64, op Opcode, invalidate bool) {
 	base := addr &^ (CacheLineSize - 1)
 	e.emit(op, base, CacheLineSize, nil)
 	e.stats.Flushes++
+	if e.ckpt != nil {
+		tag := ckCLWB
+		if invalidate {
+			tag = ckCLFlushOpt
+		}
+		e.ckpt.record(tag, e.icount, base, nil)
+	}
+	e.applyFlushAsync(base, invalidate)
+	e.maybeCheckpoint()
+}
+
+// applyFlushAsync is the state mutation of CLFlushOpt (invalidate) and
+// CLWB (keep the cached copy).
+func (e *Engine) applyFlushAsync(base uint64, invalidate bool) {
 	ln := e.lines[base]
 	if ln == nil {
 		return
@@ -409,14 +486,22 @@ func (e *Engine) flushAsync(addr uint64, op Opcode, invalidate bool) {
 func (e *Engine) SFence() {
 	e.emit(OpSFence, 0, 0, nil)
 	e.stats.Fences++
+	if e.ckpt != nil {
+		e.ckpt.record(ckFence, e.icount, 0, nil)
+	}
 	e.drain()
+	e.maybeCheckpoint()
 }
 
 // MFence behaves like SFence for persistency purposes.
 func (e *Engine) MFence() {
 	e.emit(OpMFence, 0, 0, nil)
 	e.stats.Fences++
+	if e.ckpt != nil {
+		e.ckpt.record(ckFence, e.icount, 0, nil)
+	}
 	e.drain()
+	e.maybeCheckpoint()
 }
 
 // CAS64 performs an aligned 8-byte compare-and-swap. Like hardware RMW
@@ -434,9 +519,20 @@ func (e *Engine) CAS64(addr uint64, old, new uint64) bool {
 	var cur [8]byte
 	e.readInto(cur[:], addr)
 	if binary.LittleEndian.Uint64(cur[:]) != old {
+		// The event stream alone cannot tell a failed CAS from a
+		// successful one (both emit OpRMW with the new value), so the
+		// log records the outcome explicitly.
+		if e.ckpt != nil {
+			e.ckpt.record(ckRMWFailed, e.icount, addr, nil)
+		}
+		e.maybeCheckpoint()
 		return false
 	}
+	if e.ckpt != nil {
+		e.ckpt.record(ckRMW, e.icount, addr, b[:])
+	}
 	e.applyStore(addr, b[:])
+	e.maybeCheckpoint()
 	return true
 }
 
@@ -452,8 +548,12 @@ func (e *Engine) FAA64(addr uint64, delta uint64) uint64 {
 	e.emit(OpRMW, addr, 8, b[:])
 	e.stats.Fences++
 	e.stats.RMWs++
+	if e.ckpt != nil {
+		e.ckpt.record(ckRMW, e.icount, addr, b[:])
+	}
 	e.drain()
 	e.applyStore(addr, b[:])
+	e.maybeCheckpoint()
 	return prev
 }
 
@@ -499,6 +599,12 @@ func (e *Engine) maybeEvict() {
 			e.evictKeys[i] = e.evictKeys[len(e.evictKeys)-1]
 			e.evictKeys = e.evictKeys[:len(e.evictKeys)-1]
 			continue
+		}
+		// Log the eviction explicitly: replays apply it from the log
+		// rather than re-deriving it, so the rng state never needs to
+		// be part of a checkpoint.
+		if e.ckpt != nil {
+			e.ckpt.record(ckEvict, e.icount, base, nil)
 		}
 		e.writeBack(ln)
 		delete(e.lines, base)

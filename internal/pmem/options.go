@@ -80,6 +80,13 @@ type Options struct {
 	// too slow for a fuel budget to be meaningful, and lets campaign
 	// budgets cut a replay mid-flight instead of only between replays.
 	Deadline time.Time
+	// CheckpointEvery, when non-zero, makes the engine record a
+	// mutation log and snapshot its full state every CheckpointEvery
+	// events into a CheckpointStore (checkpoint.go), from which
+	// counter-mode replays restore in O(gap) instead of re-executing
+	// the whole prefix. Recording costs memory proportional to the
+	// trace; leave it zero for engines that are themselves replays.
+	CheckpointEvery uint64
 	// Capture selects stack capture.
 	Capture StackCapture
 	// Stacks is the table stacks are interned into. A shared table lets
