@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"mumak/internal/apps"
@@ -35,6 +37,7 @@ import (
 	_ "mumak/internal/apps/rocksdb"
 	_ "mumak/internal/apps/wort"
 	"mumak/internal/bugs"
+	"mumak/internal/campaign"
 	"mumak/internal/core"
 	"mumak/internal/fpt"
 	"mumak/internal/harness"
@@ -68,6 +71,8 @@ func main() {
 		imageCache = flag.Int("image-cache", core.DefaultImageCacheSize, "crash-image verdict cache capacity: identical crash images reuse one recovery verdict (0 disables)")
 		ckptEvery  = flag.Int("checkpoint-interval", core.DefaultCheckpointInterval, "engine events between full-state checkpoints of the instrumented run; counter-mode replays restore from the nearest checkpoint instead of re-executing the prefix (0 disables)")
 		exitZero   = flag.Bool("exit-zero", false, "exit 0 even when bugs were found (smoke tests that assert findings without failing the step)")
+		journalDir = flag.String("journal", "", "directory for a durable campaign journal: every verdict is fsync'd, so a killed campaign resumes with -resume")
+		resume     = flag.Bool("resume", false, "resume the journaled campaign in -journal instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -78,6 +83,14 @@ func main() {
 		fmt.Println(strings.Join(misbehave.Names(), "\n"))
 		fmt.Println(strings.Join(imagedup.Names(), "\n"))
 		return
+	}
+	if err := validateFlags(flagValues{
+		ops: *ops, workers: *workers, poolMB: *poolMB,
+		imageCache: *imageCache, ckptInterval: *ckptEvery,
+		budget: *budget, artifacts: *artifacts,
+		journal: *journalDir, resume: *resume,
+	}); err != nil {
+		fatal(err)
 	}
 	ver, err := parseVersion(*pmdkVer)
 	if err != nil {
@@ -122,6 +135,56 @@ func main() {
 	if ckptInterval <= 0 {
 		ckptInterval = -1 // flag 0 means "off"; Config 0 means "default"
 	}
+
+	// Campaign journal: identity is pinned at creation and re-checked on
+	// resume, so a journal can never be folded into a different campaign.
+	meta := campaign.Meta{
+		Target: *target, Ops: *ops, Seed: *seed,
+		StackMode: *stackMode, StoreGranularity: *storeGran, EADR: *eadr,
+	}
+	var (
+		journal     *campaign.Journal
+		resumeState *campaign.State
+	)
+	switch {
+	case *resume:
+		st, err := campaign.Load(*journalDir)
+		if err != nil {
+			fatal(fmt.Errorf("resume: %v", err))
+		}
+		if err := st.Meta.Check(meta); err != nil {
+			fatal(fmt.Errorf("resume: %v", err))
+		}
+		for _, d := range st.Diagnostics {
+			fmt.Fprintln(os.Stderr, "mumak: journal:", d)
+		}
+		journal, err = st.Reopen()
+		if err != nil {
+			fatal(fmt.Errorf("resume: %v", err))
+		}
+		resumeState = st
+	case *journalDir != "":
+		journal, err = campaign.Create(*journalDir, meta)
+		if err != nil {
+			fatal(fmt.Errorf("journal: %v", err))
+		}
+	}
+
+	// Graceful interruption: the first SIGINT/SIGTERM drains in-flight
+	// replays, flushes the journal and prints a partial report with
+	// resume instructions; a second signal aborts hard.
+	interrupt := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "mumak: %s: draining workers and flushing the journal (repeat to abort hard)\n", s)
+		close(interrupt)
+		s = <-sigs
+		fmt.Fprintf(os.Stderr, "mumak: second %s: aborting\n", s)
+		os.Exit(130)
+	}()
+
 	res, err := core.Analyze(app, w, core.Config{
 		Granularity:        gran,
 		Budget:             *budget,
@@ -133,9 +196,20 @@ func main() {
 		RecoveryTimeout:    *recTimeout,
 		ImageCacheSize:     cacheSize,
 		CheckpointInterval: ckptInterval,
+		Interrupt:          interrupt,
+		Journal:            journal,
+		Resume:             resumeState,
 	})
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "mumak: journal:", cerr)
+		}
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if res.JournalError != "" {
+		fmt.Fprintln(os.Stderr, "mumak: journal degraded to unjournaled:", res.JournalError)
 	}
 	if *artifacts != "" {
 		if err := saveArtifacts(*artifacts, res); err != nil {
@@ -146,10 +220,7 @@ func main() {
 		if err := res.Report.WriteJSON(os.Stdout, *warnings); err != nil {
 			fatal(err)
 		}
-		if len(res.Report.Bugs()) > 0 && !*exitZero {
-			os.Exit(1)
-		}
-		return
+		os.Exit(exitCode(res, *exitZero))
 	}
 	if *printTree {
 		fmt.Println("# failure point tree")
@@ -166,6 +237,10 @@ func main() {
 	if res.SkippedFailurePoints > 0 {
 		fmt.Printf("skipped failure points: %d (coverage is below one fault per failure point)\n",
 			res.SkippedFailurePoints)
+	}
+	if res.QuarantinedFailurePoints > 0 {
+		fmt.Printf("quarantined failure points: %d (replays kept failing after retries; see the report section)\n",
+			res.QuarantinedFailurePoints)
 	}
 	if res.InjectionAborted {
 		fmt.Println("fault-injection campaign aborted: repeated replays made no progress")
@@ -193,15 +268,40 @@ func main() {
 		fmt.Printf("campaign workers: %d (avg %.1f busy, claim contention %d)\n",
 			res.CampaignWorkers, float64(res.WorkerBusy)/float64(res.InjectTime), res.ClaimContention)
 	}
+	if res.JournalAppends > 0 || res.JournalSnapshots > 0 || res.ResumedFailurePoints > 0 {
+		fmt.Printf("journal: %d verdict(s) appended, %d snapshot(s), %d verdict(s) restored on resume\n",
+			res.JournalAppends, res.JournalSnapshots, res.ResumedFailurePoints)
+	}
 	fmt.Printf("time: %s total (instrument %s, inject %s, trace analysis %s)\n",
 		res.Elapsed.Round(time.Millisecond), res.InstrumentTime.Round(time.Millisecond),
 		res.InjectTime.Round(time.Millisecond), res.AnalysisTime.Round(time.Millisecond))
 	if res.TimedOut {
 		fmt.Println("analysis budget expired before completion")
 	}
-	if len(res.Report.Bugs()) > 0 && !*exitZero {
-		os.Exit(1) // CI-pipeline friendly: bugs fail the build
+	if res.Interrupted {
+		hint := ""
+		if *journalDir != "" {
+			hint = fmt.Sprintf(" (resume: mumak -target %s -journal %s -resume)", *target, *journalDir)
+		}
+		fmt.Printf("campaign interrupted before completion%s\n", hint)
 	}
+	os.Exit(exitCode(res, *exitZero))
+}
+
+// exitCode maps the campaign outcome onto CI-friendly process status:
+// 0 clean, 1 bugs found, 3 interrupted before completion. -exit-zero
+// forces 0 for smoke tests that assert findings without failing the
+// step.
+func exitCode(res *core.Result, exitZero bool) int {
+	switch {
+	case exitZero:
+		return 0
+	case res.Interrupted:
+		return 3
+	case len(res.Report.Bugs()) > 0:
+		return 1 // CI-pipeline friendly: bugs fail the build
+	}
+	return 0
 }
 
 // saveArtifacts serialises the pipeline by-products: the failure point
@@ -209,16 +309,40 @@ func main() {
 // restored tree knows which failure points were already explored.
 // Program counters are process-local, so the artifacts document one
 // analysis rather than seeding another process.
+//
+// The tree is written crash-safely — temp file, fsync, rename, fsync
+// the directory — so a kill mid-save leaves either the previous
+// complete artifact or the new one, never a truncated gob that panics
+// a later decode.
 func saveArtifacts(dir string, res *core.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, "failure-point-tree.gob"))
+	tmp, err := os.CreateTemp(dir, "failure-point-tree.*.tmp")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return res.Tree.Encode(f, res.Claims)
+	defer os.Remove(tmp.Name())
+	if err := res.Tree.Encode(tmp, res.Claims); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, "failure-point-tree.gob")); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func parseVersion(s string) (pmdk.Version, error) {

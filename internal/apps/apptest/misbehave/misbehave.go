@@ -1,6 +1,8 @@
 // Package misbehave provides deliberately broken fixture targets for
-// exercising the campaign sandbox: a target whose Run panics, one whose
-// Run never terminates, and one whose recovery procedure loops forever.
+// exercising the campaign sandbox and replay robustness: a target whose
+// Run panics, one whose Run never terminates, one whose recovery
+// procedure loops forever, and two whose replays fail — permanently
+// (quarantine path) or transiently (retry path).
 //
 // The fixtures live in their own registry rather than the main
 // internal/apps one on purpose: the apps registry is the paper's §6
@@ -12,6 +14,7 @@ package misbehave
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
 
 	"mumak/internal/harness"
 	"mumak/internal/pmem"
@@ -35,6 +38,19 @@ const (
 	// HangRecovery makes Recover loop over PM forever, so every
 	// recovery-oracle invocation hangs.
 	HangRecovery
+	// ReplayBroken performs one clean execution (the instrumented run)
+	// and deterministically fails every execution after it before any
+	// PM instruction: every replay skips, so every failure point must
+	// end up quarantined rather than silently dropped — and the
+	// campaign must still terminate. Counter-mode campaigns need
+	// checkpoints disabled to exercise it (checkpointed replays run no
+	// application code).
+	ReplayBroken
+	// ReplayFlaky fails exactly the second execution — the first
+	// replay attempt — and succeeds on every other one, so the bounded
+	// per-leaf retry must absorb it (one retried failure point, zero
+	// quarantined).
+	ReplayFlaky
 )
 
 const (
@@ -52,6 +68,10 @@ const (
 type App struct {
 	name string
 	mode Mode
+	// runs counts Setup entries across the instrumented run and every
+	// replay; the replay-failure modes key off it. Atomic because the
+	// one fixture instance is shared across parallel campaign workers.
+	runs atomic.Int64
 }
 
 // Name implements harness.Application.
@@ -61,7 +81,16 @@ func (a *App) Name() string { return a.name }
 func (a *App) PoolSize() int { return poolSize }
 
 // Setup implements harness.Application: it persists the pool magic.
+// The replay-failure modes fire here, before the first PM instruction,
+// so a failed execution looks exactly like a replay that diverged.
 func (a *App) Setup(e *pmem.Engine) error {
+	run := a.runs.Add(1)
+	switch {
+	case a.mode == ReplayBroken && run > 1:
+		return errors.New("misbehave: seeded replay failure (every execution after the first)")
+	case a.mode == ReplayFlaky && run == 2:
+		return errors.New("misbehave: seeded transient replay failure (second execution only)")
+	}
 	e.Store64(0, magic)
 	e.CLWB(0)
 	e.SFence()
@@ -120,6 +149,8 @@ var registry = map[string]Mode{
 	"misbehave-run-panic":     PanicRun,
 	"misbehave-run-hang":      HangRun,
 	"misbehave-recovery-hang": HangRecovery,
+	"misbehave-replay-broken": ReplayBroken,
+	"misbehave-replay-flaky":  ReplayFlaky,
 }
 
 // New resolves a fixture by registry name, reporting whether it exists.

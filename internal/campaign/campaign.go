@@ -1,0 +1,176 @@
+// Package campaign makes fault-injection campaigns crash-safe: it
+// persists an append-only, checksummed, fsync'd journal of per-leaf
+// replay verdicts plus periodic atomic snapshots of campaign state, so
+// a campaign killed at any byte — SIGKILL, OOM, reboot, budget expiry —
+// resumes from a loadable prefix instead of starting over.
+//
+// The durability argument mirrors the tool's own subject matter:
+//
+//   - The journal is append-only and every record is length-prefixed
+//     and CRC-checksummed; each append is fsync'd before the campaign
+//     merge loop moves on. A crash mid-append leaves a torn tail that
+//     the loader detects and discards — everything before it is intact,
+//     and a lost tail record only costs re-replaying that one leaf.
+//   - Snapshots (frozen failure-point tree with claim marks, image-
+//     cache verdict entries, the partial report, counters) are written
+//     to a temp file, fsync'd, and renamed over the previous snapshot;
+//     the directory is fsync'd after the rename. A crash leaves either
+//     the old complete snapshot or the new complete one, never a blend.
+//   - Campaign identity (target, workload, injection mode) is written
+//     once at creation, atomically; resume refuses a journal recorded
+//     under different parameters with a one-line diagnostic.
+//
+// Correctness of resume rests on the determinism the rest of the
+// pipeline already guarantees: the campaign merge loop consumes leaves
+// strictly in first-occurrence order, so the journal is always a
+// prefix of the deterministic campaign. A resumed run re-executes the
+// (deterministic) instrumented phase, folds the journaled verdicts
+// through the same merge step, and replays only the remainder — the
+// final report is byte-identical to an uninterrupted run. This journal
+// is also the substrate the sharded campaign service will merge.
+package campaign
+
+import (
+	"fmt"
+	"time"
+)
+
+// Version is the on-disk format version stamped into snapshots.
+const Version = 1
+
+// Meta identifies the campaign a journal belongs to. Resume validates
+// it field by field: a journal records verdicts for one (target,
+// workload, injection-mode) tuple, and folding it into a different
+// campaign would silently corrupt the report.
+type Meta struct {
+	// Target is the application-under-test registry name.
+	Target string
+	// Ops and Seed pin the deterministic workload.
+	Ops  int
+	Seed int64
+	// StackMode, StoreGranularity and EADR pin the injection mode: they
+	// change the failure-point tree or the analysis domain.
+	StackMode        bool
+	StoreGranularity bool
+	EADR             bool
+}
+
+// Check reports a one-line diagnostic when the journal's identity does
+// not match the campaign about to resume it.
+func (m Meta) Check(run Meta) error {
+	switch {
+	case m.Target != run.Target:
+		return fmt.Errorf("journal was recorded for target %q, not %q", m.Target, run.Target)
+	case m.Ops != run.Ops:
+		return fmt.Errorf("journal was recorded with -ops %d, not %d", m.Ops, run.Ops)
+	case m.Seed != run.Seed:
+		return fmt.Errorf("journal was recorded with -seed %d, not %d", m.Seed, run.Seed)
+	case m.StackMode != run.StackMode:
+		return fmt.Errorf("journal was recorded with stack-mode=%v, not %v", m.StackMode, run.StackMode)
+	case m.StoreGranularity != run.StoreGranularity:
+		return fmt.Errorf("journal was recorded with store-granularity=%v, not %v", m.StoreGranularity, run.StoreGranularity)
+	case m.EADR != run.EADR:
+		return fmt.Errorf("journal was recorded with eadr=%v, not %v", m.EADR, run.EADR)
+	}
+	return nil
+}
+
+// Record is one durable per-leaf verdict: everything the deterministic
+// merge step needs to fold the leaf's outcome into the report and the
+// campaign counters without re-executing the replay. Leaves are keyed
+// by their first-occurrence instruction counter — stable across
+// processes for a deterministic target, unlike program counters.
+type Record struct {
+	// LeafID and LeafICount identify the failure point; LeafICount is
+	// the cross-process key (the rebuilt tree's leaf with the same
+	// first-occurrence counter), LeafID is diagnostic.
+	LeafID     int
+	LeafICount uint64
+	// Events is the number of engine instruction events the replay
+	// spent (all attempts); Retries the extra attempts after transient
+	// skips.
+	Events  uint64
+	Retries int
+	// Injected/Restored/Recovered/RecoveryHung mirror the replay
+	// outcome flags the campaign counters are built from.
+	Injected     bool
+	Restored     bool
+	Recovered    bool
+	RecoveryHung bool
+	// TargetPanic/TargetHang mark replays the sandbox stopped.
+	TargetPanic bool
+	TargetHang  bool
+	// CacheHit/CacheMiss record the verdict-cache consultation.
+	CacheHit  bool
+	CacheMiss bool
+	// SkipReason is non-empty when the leaf was consumed without an
+	// injection and quarantined after bounded retries.
+	SkipReason string
+	// ImageHash is the crash image's content hash when one was
+	// produced (diagnostic; dedup across shards).
+	ImageHash uint64
+	// HasFinding marks a resulting finding; the finding's call stack is
+	// re-derived from the matched leaf on resume (program counters are
+	// process-local, the leaf's stack is not).
+	HasFinding    bool
+	FindingKind   uint8
+	FindingICount uint64
+	FindingAddr   uint64
+	FindingDetail string
+}
+
+// CacheEntry is one exported crash-image verdict-cache entry: the image
+// identity plus a flattened oracle outcome that renders byte-identically
+// to the live one (Describe and the panic-trace tail are string-for-
+// string what the original produced).
+type CacheEntry struct {
+	Hash uint64
+	Size int
+
+	Verdict    uint8
+	ErrMsg     string
+	HasErr     bool
+	PanicValue string
+	HasPanic   bool
+	PanicTrace string
+
+	HasHang      bool
+	HangICount   uint64
+	HangBudget   uint64
+	HangDeadline bool
+
+	BoundsMaxEvents uint64
+	BoundsTimeout   time.Duration
+}
+
+// Counters is the snapshot of campaign progress counters, a diagnostic
+// companion to the journaled records.
+type Counters struct {
+	Injections   int
+	Recoveries   int
+	Skipped      int
+	Quarantined  int
+	Retried      int
+	EngineEvents uint64
+}
+
+// Snapshot is the periodically persisted campaign state: the frozen
+// failure point tree with journal-replay claim marks, the verdict
+// cache, the partial report and the progress counters, all covering the
+// first Consumed journal records.
+type Snapshot struct {
+	Version  int
+	Meta     Meta
+	Consumed int
+	// Tree is the fpt.Encode serialisation of the frozen tree with the
+	// consumed leaves claimed.
+	Tree []byte
+	// Cache holds the verdict-cache entries in least-recently-used
+	// order (oldest first), so seeding a fresh cache preserves recency
+	// and therefore eviction behaviour.
+	Cache []CacheEntry
+	// Report is the report.EncodeWire serialisation of the partial
+	// report at snapshot time (phase-2 findings and quarantined leaves).
+	Report   []byte
+	Counters Counters
+}

@@ -1,0 +1,340 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Journal directory layout. The names are exported so tests (and the
+// sharded campaign service) can inspect or perturb the files directly.
+const (
+	// MetaFile holds the gob-encoded campaign Meta, written atomically
+	// once at creation.
+	MetaFile = "meta.gob"
+	// JournalFile is the append-only record log: one length-prefixed,
+	// CRC-checksummed, fsync'd frame per consumed failure point.
+	JournalFile = "journal.log"
+	// SnapshotFile holds the latest atomic Snapshot (temp+rename).
+	SnapshotFile = "snapshot.gob"
+)
+
+// maxFrame bounds one journal frame; anything larger is treated as a
+// corrupt length prefix rather than a 4 GiB allocation.
+const maxFrame = 16 << 20
+
+// Journal is an open, appendable campaign journal. Append and
+// WriteSnapshot are called only from the campaign's single merge
+// goroutine; the type needs no internal locking.
+type Journal struct {
+	dir  string
+	meta Meta
+	f    *os.File
+}
+
+// Create initialises a fresh campaign journal in dir, writing the
+// campaign identity atomically. It refuses a directory that already
+// holds journaled verdicts: appending a different campaign's records
+// after an existing prefix would corrupt both, so the caller must
+// either resume (Load + Reopen) or pick a fresh directory.
+func Create(dir string, meta Meta) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: creating journal directory: %w", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, JournalFile)); err == nil && fi.Size() > 0 {
+		return nil, fmt.Errorf("campaign: %s already holds a campaign journal; resume it with -resume or choose a fresh directory", dir)
+	}
+	var mb bytes.Buffer
+	if err := gob.NewEncoder(&mb).Encode(&meta); err != nil {
+		return nil, fmt.Errorf("campaign: encoding journal meta: %w", err)
+	}
+	if err := writeAtomic(dir, MetaFile, mb.Bytes()); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalFile),
+		os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: creating journal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{dir: dir, meta: meta, f: f}, nil
+}
+
+// Meta returns the campaign identity the journal was created with.
+func (j *Journal) Meta() Meta { return j.meta }
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append durably appends one verdict record: the frame (length, CRC,
+// gob payload) is written in a single write and fsync'd before Append
+// returns, so a record the merge loop has moved past survives any
+// crash. A torn in-flight frame is detected and discarded on Load.
+func (j *Journal) Append(rec Record) error {
+	var pb bytes.Buffer
+	if err := gob.NewEncoder(&pb).Encode(&rec); err != nil {
+		return fmt.Errorf("campaign: encoding journal record: %w", err)
+	}
+	payload := pb.Bytes()
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("campaign: appending journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the campaign snapshot: the new one
+// is written to a temp file, fsync'd, renamed over the old one, and the
+// directory is fsync'd. A crash at any byte leaves either the previous
+// complete snapshot or the new complete one. The journal stamps the
+// format version and the campaign identity itself.
+func (j *Journal) WriteSnapshot(snap Snapshot) error {
+	snap.Version = Version
+	snap.Meta = j.meta
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(&snap); err != nil {
+		return fmt.Errorf("campaign: encoding snapshot: %w", err)
+	}
+	return writeAtomic(j.dir, SnapshotFile, b.Bytes())
+}
+
+// Close syncs and closes the journal file. The records are already
+// durable (Append syncs each one); Close only releases the descriptor.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// State is a loaded campaign journal: the durable prefix a crashed or
+// interrupted campaign left behind, ready to be folded into a resumed
+// run (core.Config.Resume) and appended to (Reopen).
+type State struct {
+	// Dir is the journal directory.
+	Dir string
+	// Meta is the campaign identity the journal was created with.
+	Meta Meta
+	// Records is the loadable prefix of journaled verdicts, in the
+	// deterministic merge order they were appended in.
+	Records []Record
+	// Cache holds the verdict-cache entries of the latest loadable
+	// snapshot (oldest first), empty when no snapshot was usable.
+	Cache []CacheEntry
+	// SnapshotConsumed and Report echo the latest loadable snapshot's
+	// progress mark and partial-report bytes (diagnostic; resume
+	// correctness rests on Records alone).
+	SnapshotConsumed int
+	Report           []byte
+	// Diagnostics lists recoverable damage found while loading (torn
+	// journal tail, unreadable snapshot); each cost at most re-replaying
+	// the affected leaves.
+	Diagnostics []string
+
+	// validLen is the byte offset past the last intact record; Reopen
+	// truncates a torn tail back to it before appending.
+	validLen int64
+}
+
+// Load reads the durable campaign state from dir. Torn or corrupt
+// journal tails and unreadable snapshots are tolerated — the loadable
+// prefix is returned and the damage reported in Diagnostics — but a
+// missing or undecodable meta file is an error: without the campaign
+// identity the records cannot be safely folded into anything.
+func Load(dir string) (*State, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: no campaign journal in %s (%v)", dir, err)
+	}
+	st := &State{Dir: dir}
+	if err := gobDecode(mb, &st.Meta); err != nil {
+		return nil, fmt.Errorf("campaign: corrupt journal meta in %s: %v", dir, err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, JournalFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("campaign: reading journal: %w", err)
+	}
+	payloads, ends, diag := readFrames(data)
+	if diag != "" {
+		st.Diagnostics = append(st.Diagnostics, diag)
+	}
+	for i, p := range payloads {
+		var rec Record
+		if err := gobDecode(p, &rec); err != nil {
+			// The frame checksummed but its payload does not decode
+			// (e.g. written by an incompatible build). Resume from the
+			// records before it; everything after is unreachable anyway.
+			st.Diagnostics = append(st.Diagnostics, fmt.Sprintf(
+				"journal record %d does not decode (%v); resuming from the %d record(s) before it", i, err, i))
+			break
+		}
+		st.Records = append(st.Records, rec)
+		st.validLen = int64(ends[i])
+	}
+	st.loadSnapshot()
+	return st, nil
+}
+
+// loadSnapshot folds the latest snapshot into the state when it is
+// intact and belongs to this campaign; any damage becomes a diagnostic,
+// never an error — resume correctness rests on the journal records, the
+// snapshot only seeds the verdict cache and documents progress.
+func (s *State) loadSnapshot() {
+	data, err := os.ReadFile(filepath.Join(s.Dir, SnapshotFile))
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		s.Diagnostics = append(s.Diagnostics, fmt.Sprintf("snapshot unreadable (%v); resuming from the journal alone", err))
+		return
+	}
+	var snap Snapshot
+	if err := gobDecode(data, &snap); err != nil {
+		s.Diagnostics = append(s.Diagnostics, fmt.Sprintf("snapshot corrupt (%v); resuming from the journal alone", err))
+		return
+	}
+	if snap.Version != Version {
+		s.Diagnostics = append(s.Diagnostics, fmt.Sprintf("snapshot format version %d (want %d); resuming from the journal alone", snap.Version, Version))
+		return
+	}
+	if err := snap.Meta.Check(s.Meta); err != nil {
+		s.Diagnostics = append(s.Diagnostics, fmt.Sprintf("snapshot belongs to a different campaign (%v); resuming from the journal alone", err))
+		return
+	}
+	if snap.Consumed > len(s.Records) {
+		// The snapshot is ahead of the (possibly torn) journal. Its
+		// verdict-cache entries are still valid — verdicts are keyed by
+		// image content and the target is deterministic — but its
+		// progress mark is not.
+		s.Diagnostics = append(s.Diagnostics, fmt.Sprintf(
+			"snapshot covers %d verdicts but the journal holds %d; trusting the journal", snap.Consumed, len(s.Records)))
+	}
+	s.SnapshotConsumed = snap.Consumed
+	s.Cache = snap.Cache
+	s.Report = snap.Report
+}
+
+// Reopen opens the journal for appending the resumed campaign's
+// verdicts after the loaded prefix. A torn tail (detected by Load) is
+// truncated away first — it never held a complete record — so appended
+// frames always follow the last intact one.
+func (s *State) Reopen() (*Journal, error) {
+	f, err := os.OpenFile(filepath.Join(s.Dir, JournalFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reopening journal: %w", err)
+	}
+	if err := f.Truncate(s.validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(s.validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: seeking journal end: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: syncing reopened journal: %w", err)
+	}
+	return &Journal{dir: s.Dir, meta: s.Meta, f: f}, nil
+}
+
+// readFrames walks the framed journal bytes, returning every intact
+// payload, the byte offset past each (for tail truncation), and a
+// diagnostic when a torn or corrupt tail stopped the walk early.
+func readFrames(data []byte) (payloads [][]byte, ends []int, diag string) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return payloads, ends, fmt.Sprintf("journal ends in a torn %d-byte frame header at offset %d; discarding it", len(data)-off, off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n <= 0 || n > maxFrame {
+			return payloads, ends, fmt.Sprintf("journal frame at offset %d has an implausible length %d; discarding the tail", off, n)
+		}
+		if len(data)-off-8 < n {
+			return payloads, ends, fmt.Sprintf("journal ends in a torn record at offset %d (%d of %d payload bytes); discarding it", off, len(data)-off-8, n)
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, ends, fmt.Sprintf("journal record at offset %d fails its checksum; discarding the tail", off)
+		}
+		payloads = append(payloads, payload)
+		off += 8 + n
+		ends = append(ends, off)
+	}
+	return payloads, ends, ""
+}
+
+// gobDecode decodes data into v, converting decoder panics on
+// adversarially malformed input into errors.
+func gobDecode(data []byte, v any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("decode panic: %v", r)
+		}
+	}()
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// writeAtomic writes name under dir via temp file + fsync + rename +
+// directory fsync: the named file either keeps its old complete
+// contents or holds the new complete ones, never a torn blend.
+func writeAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("campaign: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("campaign: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("campaign: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("campaign: publishing %s: %w", name, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory so a just-renamed or just-created entry
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("campaign: opening %s for sync: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("campaign: syncing %s: %w", dir, err)
+	}
+	return nil
+}

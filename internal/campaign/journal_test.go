@@ -1,0 +1,362 @@
+package campaign
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testMeta() Meta {
+	return Meta{Target: "btree", Ops: 300, Seed: 42, StackMode: false}
+}
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			LeafID: i, LeafICount: uint64(10 * (i + 1)), Events: uint64(100 + i),
+			Injected: true, Recovered: true, CacheMiss: true,
+			HasFinding: i%3 == 0, FindingKind: 1, FindingICount: uint64(10 * (i + 1)),
+			FindingAddr: 0x40, FindingDetail: "unflushed line",
+		}
+	}
+	return recs
+}
+
+// writeJournal creates a journal in a fresh temp dir and appends the
+// records, returning the directory.
+func writeJournal(t *testing.T, recs []Record) string {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	recs := testRecords(5)
+	dir := writeJournal(t, recs)
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Diagnostics) != 0 {
+		t.Fatalf("clean journal produced diagnostics: %v", st.Diagnostics)
+	}
+	if err := st.Meta.Check(testMeta()); err != nil {
+		t.Fatalf("meta did not round-trip: %v", err)
+	}
+	if len(st.Records) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(st.Records), len(recs))
+	}
+	for i, rec := range st.Records {
+		if rec != recs[i] {
+			t.Fatalf("record %d did not round-trip: got %+v want %+v", i, rec, recs[i])
+		}
+	}
+}
+
+// TestJournalTornTail truncates the journal at every possible byte
+// offset — simulating a kill -9 mid-append — and checks that each
+// prefix loads the records whose frames are complete, with a
+// diagnostic whenever bytes were discarded.
+func TestJournalTornTail(t *testing.T) {
+	recs := testRecords(4)
+	dir := writeJournal(t, recs)
+	path := filepath.Join(dir, JournalFile)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries: offsets at which a prefix holds exactly k records.
+	ends := []int{0}
+	off := 0
+	for off < len(full) {
+		n := int(binary.LittleEndian.Uint32(full[off : off+4]))
+		off += 8 + n
+		ends = append(ends, off)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Load(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		complete := 0
+		for _, e := range ends {
+			if cut >= e && e > 0 {
+				complete++
+			}
+		}
+		if len(st.Records) != complete {
+			t.Fatalf("cut=%d: loaded %d records, want %d", cut, len(st.Records), complete)
+		}
+		torn := cut != ends[complete]
+		if torn && len(st.Diagnostics) == 0 {
+			t.Fatalf("cut=%d: torn tail produced no diagnostic", cut)
+		}
+		if !torn && hasJournalDiag(st.Diagnostics) {
+			t.Fatalf("cut=%d: clean prefix produced a journal diagnostic: %v", cut, st.Diagnostics)
+		}
+	}
+}
+
+// hasJournalDiag reports whether any diagnostic concerns the journal
+// (as opposed to the snapshot, which torn-journal prefixes legitimately
+// outrun).
+func hasJournalDiag(diags []string) bool {
+	for _, d := range diags {
+		if strings.Contains(d, "journal") && !strings.Contains(d, "resuming from the journal") {
+			return true
+		}
+	}
+	return false
+}
+
+func TestJournalCorruptChecksum(t *testing.T) {
+	recs := testRecords(3)
+	dir := writeJournal(t, recs)
+	path := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second record.
+	n0 := int(binary.LittleEndian.Uint32(data[0:4]))
+	data[8+n0+8+3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Records) != 1 {
+		t.Fatalf("loaded %d records past a corrupt frame, want 1", len(st.Records))
+	}
+	if !hasJournalDiag(st.Diagnostics) {
+		t.Fatalf("corrupt checksum produced no diagnostic: %v", st.Diagnostics)
+	}
+}
+
+func TestJournalImplausibleLength(t *testing.T) {
+	dir := writeJournal(t, testRecords(2))
+	path := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, 8)
+	binary.LittleEndian.PutUint32(garbage[0:4], 1<<31) // > maxFrame
+	if err := os.WriteFile(path, append(data, garbage...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Records) != 2 || !hasJournalDiag(st.Diagnostics) {
+		t.Fatalf("garbage tail: %d records, diags %v", len(st.Records), st.Diagnostics)
+	}
+}
+
+func TestCreateRefusesExistingJournal(t *testing.T) {
+	dir := writeJournal(t, testRecords(1))
+	if _, err := Create(dir, testMeta()); err == nil {
+		t.Fatal("Create accepted a directory that already holds a journal")
+	} else if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("refusal does not point at -resume: %v", err)
+	}
+}
+
+func TestMetaCheckMismatches(t *testing.T) {
+	base := testMeta()
+	for _, tc := range []struct {
+		mutate func(*Meta)
+		want   string
+	}{
+		{func(m *Meta) { m.Target = "rbtree" }, "target"},
+		{func(m *Meta) { m.Ops = 1 }, "-ops"},
+		{func(m *Meta) { m.Seed = 7 }, "-seed"},
+		{func(m *Meta) { m.StackMode = true }, "stack-mode"},
+		{func(m *Meta) { m.StoreGranularity = true }, "store-granularity"},
+		{func(m *Meta) { m.EADR = true }, "eadr"},
+	} {
+		run := base
+		tc.mutate(&run)
+		err := base.Check(run)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Check(%+v) = %v, want mention of %q", run, err, tc.want)
+		}
+	}
+	if err := base.Check(base); err != nil {
+		t.Errorf("Check rejected an identical campaign: %v", err)
+	}
+}
+
+// TestReopenAppendsAfterTornTail: resume after a torn tail must
+// truncate the tear away so new frames follow the last intact record.
+func TestReopenAppendsAfterTornTail(t *testing.T) {
+	recs := testRecords(3)
+	dir := writeJournal(t, recs)
+	path := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Records) != 2 {
+		t.Fatalf("loaded %d records from torn journal, want 2", len(st.Records))
+	}
+	j, err := st.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Record{LeafID: 9, LeafICount: 999, Injected: true}
+	if err := j.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Diagnostics) != 0 {
+		t.Fatalf("journal still damaged after reopen+append: %v", st2.Diagnostics)
+	}
+	want := append(recs[:2], extra)
+	if len(st2.Records) != len(want) {
+		t.Fatalf("loaded %d records, want %d", len(st2.Records), len(want))
+	}
+	for i := range want {
+		if st2.Records[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, st2.Records[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{
+		Consumed: 3,
+		Tree:     []byte("tree-bytes"),
+		Cache: []CacheEntry{
+			{Hash: 1, Size: 64, Verdict: 2, HasErr: true, ErrMsg: "boom",
+				BoundsMaxEvents: 10, BoundsTimeout: time.Second},
+		},
+		Report:   []byte("report-bytes"),
+		Counters: Counters{Injections: 3, Recoveries: 3},
+	}
+	if err := j.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is ahead of the (empty) journal: its progress mark is
+	// distrusted with a diagnostic, but the cache entries survive.
+	if len(st.Cache) != 1 || st.Cache[0].ErrMsg != "boom" {
+		t.Fatalf("cache entries did not round-trip: %+v", st.Cache)
+	}
+	if len(st.Diagnostics) == 0 {
+		t.Fatal("snapshot ahead of the journal produced no diagnostic")
+	}
+}
+
+// TestSnapshotDamageTolerated: a torn or corrupt snapshot never blocks
+// resume — the journal alone is authoritative.
+func TestSnapshotDamageTolerated(t *testing.T) {
+	for name, corrupt := range map[string]func(path string) error{
+		"truncated": func(path string) error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, data[:len(data)/2], 0o644)
+		},
+		"garbage": func(path string) error {
+			return os.WriteFile(path, []byte("\x00\xff not a gob stream"), 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			recs := testRecords(2)
+			dir := writeJournal(t, recs)
+			st0, err := Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := st0.Reopen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.WriteSnapshot(Snapshot{Consumed: 2}); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+			if err := corrupt(filepath.Join(dir, SnapshotFile)); err != nil {
+				t.Fatal(err)
+			}
+			st, err := Load(dir)
+			if err != nil {
+				t.Fatalf("damaged snapshot made Load fail: %v", err)
+			}
+			if len(st.Records) != len(recs) {
+				t.Fatalf("loaded %d records, want %d", len(st.Records), len(recs))
+			}
+			if len(st.Diagnostics) == 0 {
+				t.Fatal("damaged snapshot produced no diagnostic")
+			}
+			if st.SnapshotConsumed != 0 || len(st.Cache) != 0 {
+				t.Fatalf("damaged snapshot leaked state: consumed=%d cache=%d",
+					st.SnapshotConsumed, len(st.Cache))
+			}
+		})
+	}
+}
+
+func TestLoadMissingMeta(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("Load accepted a directory without a campaign journal")
+	}
+}
+
+func TestLoadCorruptMeta(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, MetaFile), []byte("\x01garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("Load accepted a corrupt meta file")
+	}
+}

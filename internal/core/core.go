@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"mumak/internal/campaign"
 	"mumak/internal/fpt"
 	"mumak/internal/harness"
 	"mumak/internal/metrics"
@@ -108,6 +109,36 @@ type Config struct {
 	// disables caching. Reports are identical either way — only the
 	// redundant recovery runs are skipped.
 	ImageCacheSize int
+	// Interrupt, when non-nil, requests graceful interruption once
+	// closed: campaign workers stop claiming failure points, in-flight
+	// replays drain (and are consumed and journaled), and the analysis
+	// returns a partial report marked Interrupted. The channel is
+	// polled between leaves, so every consumed outcome is exactly what
+	// an uninterrupted run would have produced — which is what makes a
+	// resumed campaign's final report byte-identical.
+	Interrupt <-chan struct{}
+	// Journal, when non-nil, durably records every consumed failure
+	// point's verdict (append-only, fsync'd, checksummed) plus periodic
+	// atomic snapshots of campaign state, making the campaign
+	// crash-safe: a run killed at any byte resumes from the journal's
+	// loadable prefix. Journal write failures degrade the run to
+	// unjournaled (Result.JournalError) instead of aborting it.
+	Journal *campaign.Journal
+	// Resume, when non-nil, folds a previously journaled campaign
+	// prefix into this run before any replay executes: phase 1 rebuilds
+	// the (deterministic) failure point tree, the journaled verdicts
+	// are merged in leaf first-occurrence order, and the campaign
+	// continues from the first unexplored failure point. Analyze errors
+	// when the journal does not match this run's tree (different
+	// target, workload or flags). Usually combined with Journal
+	// (campaign.State.Reopen) so the continuation is journaled too.
+	Resume *campaign.State
+	// SnapshotEvery is the number of consumed failure points between
+	// campaign snapshots. Zero selects DefaultSnapshotEvery; a negative
+	// value disables periodic snapshots (a final snapshot is still
+	// written). Resume correctness never depends on snapshots — they
+	// only seed the verdict cache and document progress.
+	SnapshotEvery int
 	// CheckpointInterval is the spacing, in engine events, of the
 	// full-state checkpoints the instrumented run records so that
 	// counter-mode replays restore from the nearest checkpoint and
@@ -176,6 +207,12 @@ type Result struct {
 	// target call stack (stack mode). A non-zero value means campaign
 	// coverage is below one fault per unique failure point.
 	SkippedFailurePoints int
+	// QuarantinedFailurePoints counts the skipped failure points whose
+	// bounded retries were exhausted and that were set aside into the
+	// report's QuarantinedLeaves section — reported coverage gaps, never
+	// silent drops. Always ≤ SkippedFailurePoints (currently equal:
+	// every exhausted skip is quarantined).
+	QuarantinedFailurePoints int
 	// InjectionAborted reports that the stack-mode campaign gave up
 	// after too many consecutive failure points were consumed without
 	// an injection.
@@ -242,6 +279,20 @@ type Result struct {
 	AnalysisTime   time.Duration
 	// TimedOut reports whether the budget expired before completion.
 	TimedOut bool
+	// Interrupted reports that a graceful-interruption request
+	// (Config.Interrupt) stopped the campaign before every failure
+	// point was consumed; the report is partial and marked accordingly.
+	Interrupted bool
+	// ResumedFailurePoints counts failure points whose verdicts were
+	// folded from a resumed campaign journal instead of replayed.
+	ResumedFailurePoints int
+	// JournalAppends and JournalSnapshots count the durable journal
+	// records and atomic snapshots this run wrote; JournalError is the
+	// first journal write failure (after which the run degraded to
+	// unjournaled), empty when journaling worked or was off.
+	JournalAppends   int
+	JournalSnapshots int
+	JournalError     string
 	// EngineEvents counts simulated PM instructions across all runs.
 	EngineEvents uint64
 }
@@ -352,7 +403,11 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 			res.CheckpointBytes = ckpts.Bytes()
 		}
 		t0 = time.Now()
-		res.TimedOut = injectAll(app, w, tree, cfg, rep, res, deadline, ckpts) || res.TimedOut
+		timedOut, err := injectAll(app, w, tree, cfg, rep, res, deadline, ckpts)
+		if err != nil {
+			return nil, fmt.Errorf("fault injection: %w", err)
+		}
+		res.TimedOut = timedOut || res.TimedOut
 		res.InjectTime = time.Since(t0)
 	}
 
@@ -373,9 +428,16 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 		res.AnalysisTime = time.Since(t0)
 	}
 
+	// Partial-report markers: a budget expiry or a graceful interruption
+	// renders an explicit trailer so a cut-short report can never pass
+	// for a complete one.
+	rep.Interrupted = res.Interrupted
+	rep.BudgetExhausted = res.TimedOut
+
 	metrics.RecordSandbox(res.TargetPanics, res.TargetHangs, res.RecoveryHangs)
 	metrics.RecordImageCache(res.ImageCacheHits, res.ImageCacheMisses)
 	metrics.RecordCheckpoints(res.Checkpoints, res.CheckpointBytes, res.CheckpointRestores)
+	metrics.RecordJournal(res.JournalAppends, res.JournalSnapshots, res.ResumedFailurePoints)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

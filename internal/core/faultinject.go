@@ -7,6 +7,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"mumak/internal/campaign"
 	"mumak/internal/fpt"
 	"mumak/internal/harness"
 	"mumak/internal/metrics"
@@ -59,10 +60,21 @@ type sandboxCfg struct {
 	budget   uint64
 	timeout  time.Duration
 	deadline time.Time
+	// interrupt polls the graceful-interruption request (nil when none
+	// was configured). Checked only between leaves, never mid-replay:
+	// an in-flight replay drains to completion, so every consumed
+	// leaf's outcome — and its journal record — is exactly what an
+	// uninterrupted run would have produced.
+	interrupt func() bool
 	// disabled restores the pre-sandbox execution path (panics
 	// propagate, no watchdogs); reachable only from package-internal
 	// differential tests proving the sandbox does not perturb reports.
 	disabled bool
+}
+
+// interrupted polls the graceful-interruption request.
+func (sb sandboxCfg) interrupted() bool {
+	return sb.interrupt != nil && sb.interrupt()
 }
 
 // sandbox derives the campaign watchdog bounds from the configuration.
@@ -72,6 +84,17 @@ func (cfg Config) sandbox(deadline time.Time) sandboxCfg {
 		timeout:  cfg.RecoveryTimeout,
 		deadline: deadline,
 		disabled: cfg.unsandboxed,
+	}
+	if cfg.Interrupt != nil {
+		ch := cfg.Interrupt
+		sb.interrupt = func() bool {
+			select {
+			case <-ch:
+				return true
+			default:
+				return false
+			}
+		}
 	}
 	if sb.budget == 0 {
 		sb.budget = DefaultHangBudget
@@ -185,9 +208,18 @@ const replayDuring = "a fault-injection replay"
 // Every replay and recovery runs inside the sandbox: a foreign panic or
 // a watchdog kill becomes a TargetCrash or RecoveryHang finding instead
 // of crashing or stalling the tool.
+//
+// With a journal configured (cfg.Journal) every consumed leaf is
+// durably recorded before the next is folded, and the campaign state is
+// snapshotted periodically plus once at the end, however the campaign
+// ends. With a resume state (cfg.Resume) the journaled prefix is folded
+// through the merge step first — no replay re-executes — and the
+// campaign continues from the first unexplored leaf. The only returned
+// error is a resume mismatch: a journal recorded under a different
+// target, workload or injection mode.
 func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	cfg Config, rep *report.Report, res *Result, deadline time.Time,
-	ckpts *pmem.CheckpointStore) (timedOut bool) {
+	ckpts *pmem.CheckpointStore) (timedOut bool, err error) {
 
 	sb := cfg.sandbox(deadline)
 	// One verdict cache per campaign: application, workload and recovery
@@ -205,12 +237,44 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	cs := fpt.NewClaimSet(tree)
 	res.Claims = cs
 	mode := cfg.campaignMode()
+	m := &mergeState{
+		mode: mode, cfg: cfg, rep: rep, res: res,
+		tree: tree, cs: cs, cache: cache,
+		journal: cfg.Journal, snapEvery: cfg.snapshotEvery(),
+	}
 	start := time.Now()
 	defer func() {
 		res.ClaimContention = cs.Contention()
 		metrics.RecordCampaign(mode.stack, res.CampaignWorkers, res.Injections,
 			cs.Contention(), res.WorkerBusy, time.Since(start))
 	}()
+	// Persist the end state however the campaign ends: completion,
+	// budget expiry, interruption, cap, abort, fold-only.
+	defer m.finalSnapshot()
+
+	if cfg.Resume != nil {
+		// Seed the verdict cache from the snapshot (oldest first, so
+		// recency — and therefore eviction — carries over), then fold
+		// the journaled verdicts. Claims must be marked before the
+		// ClaimSet builds its pending snapshot below.
+		if cache != nil {
+			cache.seed(cfg.Resume.Cache)
+		}
+		aborted, err := m.fold(cfg.Resume)
+		if err != nil {
+			return false, err
+		}
+		if aborted {
+			return false, nil
+		}
+	}
+	if m.capped() {
+		return false, nil
+	}
+	if sb.interrupted() {
+		res.Interrupted = true
+		return false, nil
+	}
 
 	workers := cfg.Workers
 	if workers < 1 || len(cs.Pending()) <= 1 {
@@ -218,9 +282,9 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	}
 	res.CampaignWorkers = workers
 	if workers > 1 {
-		return injectParallel(app, w, cs, tree.Stacks(), mode, cfg, rep, res, sb, cache, ckpts, workers)
+		return injectParallel(app, w, cs, tree.Stacks(), mode, m, sb, cache, ckpts, workers), nil
 	}
-	return injectSerial(app, w, cs, tree.Stacks(), mode, cfg, rep, res, sb, cache, ckpts)
+	return injectSerial(app, w, cs, tree.Stacks(), mode, m, sb, cache, ckpts), nil
 }
 
 // replayOutcome is the result of replaying one leaf on a private engine.
@@ -268,6 +332,9 @@ type replayOutcome struct {
 	// Both are false when caching is disabled.
 	cacheHit  bool
 	cacheMiss bool
+	// imageHash is the crash image's content hash when caching computed
+	// one (diagnostic; journaled for cross-shard dedup).
+	imageHash uint64
 	// finding is the resulting finding, if any: a crash-consistency
 	// bug, a target crash, or a recovery hang.
 	finding *report.Finding
@@ -430,6 +497,7 @@ func finishInjected(app harness.Application, eng *pmem.Engine, leaf *fpt.Leaf,
 	if cache != nil {
 		out.cacheHit = hit
 		out.cacheMiss = !hit
+		out.imageHash = eng.PrefixImageHash()
 	}
 	if !check.Consistent() {
 		kind := report.CrashConsistency
@@ -483,7 +551,21 @@ func consumeOutcome(leaf *fpt.Leaf, out replayOutcome, rep *report.Report, res *
 	res.EngineEvents += out.events
 	res.RetriedFailurePoints += out.retries
 	if out.skipReason != "" {
+		// Every retry was spent (replayLeafWithRetry consumed them
+		// before this outcome surfaced): the leaf is quarantined — set
+		// aside with its reason in the report's QuarantinedLeaves
+		// section — rather than aborting the campaign or vanishing into
+		// a bare counter. SkippedFailurePoints stays the superset
+		// coverage count.
 		res.SkippedFailurePoints++
+		res.QuarantinedFailurePoints++
+		rep.Quarantine(report.QuarantinedLeaf{
+			LeafID:  leaf.ID,
+			ICount:  leaf.FirstICount,
+			Stack:   leaf.Stack,
+			Reason:  out.skipReason,
+			Retries: out.retries,
+		})
 		res.addInjectionError(fmt.Sprintf("failure point #%d (instruction %d): %s",
 			leaf.ID, leaf.FirstICount, out.skipReason))
 		return
@@ -525,12 +607,32 @@ func consumeOutcome(leaf *fpt.Leaf, out replayOutcome, rep *report.Report, res *
 // mergeState is the deterministic folding step shared by the serial and
 // parallel drivers: it consumes outcomes strictly in leaf FirstICount
 // order and decides, in that same order, when the campaign stops — the
-// MaxFailurePoints cap, and stack mode's no-progress abort.
+// MaxFailurePoints cap, and stack mode's no-progress abort. It also
+// owns the campaign journal: every consumed outcome is durably appended
+// (and periodically snapshotted) before the next leaf is folded, and a
+// resumed campaign folds its journaled prefix back through the same
+// consume step (journal.go).
 type mergeState struct {
 	mode campaignMode
 	cfg  Config
 	rep  *report.Report
 	res  *Result
+
+	tree  *fpt.Tree
+	cs    *fpt.ClaimSet
+	cache *imageCache
+
+	// journal receives one record per consumed leaf; nil when
+	// journaling is off (or degraded after a write error). snapEvery
+	// spaces the periodic snapshots; sinceSnap counts records since the
+	// last one. consumed counts every consumed leaf, folded or live.
+	// folding suppresses re-publishing while a resumed journal prefix
+	// is replayed through consume.
+	journal   *campaign.Journal
+	snapEvery int
+	sinceSnap int
+	consumed  int
+	folding   bool
 
 	injected   int
 	noProgress int
@@ -550,6 +652,10 @@ func (m *mergeState) capped() bool {
 // replays that cannot fire.
 func (m *mergeState) consume(leaf *fpt.Leaf, out replayOutcome) (abort bool) {
 	consumeOutcome(leaf, out, m.rep, m.res)
+	m.consumed++
+	if !m.folding {
+		m.publish(leaf, out)
+	}
 	if out.injected {
 		m.injected++
 		m.noProgress = 0
@@ -571,13 +677,20 @@ func (m *mergeState) consume(leaf *fpt.Leaf, out replayOutcome) (abort bool) {
 // campaign reproduces, for both injection modes. The campaign deadline
 // is honoured mid-replay: the replay engine carries it as a wall-clock
 // watchdog, so a single long replay can no longer overshoot the budget
-// arbitrarily.
+// arbitrarily. A graceful-interruption request is honoured between
+// leaves: the in-flight replay drains, its outcome is consumed and
+// journaled, and the campaign stops with the remaining failure points
+// unexplored (and unclaimed, so a resume picks them up).
 func injectSerial(app harness.Application, w workload.Workload, cs *fpt.ClaimSet,
-	stacks *stack.Table, mode campaignMode, cfg Config, rep *report.Report, res *Result,
+	stacks *stack.Table, mode campaignMode, m *mergeState,
 	sb sandboxCfg, cache *imageCache, ckpts *pmem.CheckpointStore) (timedOut bool) {
 
-	m := &mergeState{mode: mode, cfg: cfg, rep: rep, res: res}
+	res := m.res
 	for {
+		if sb.interrupted() {
+			res.Interrupted = true
+			return false
+		}
 		if !sb.deadline.IsZero() && time.Now().After(sb.deadline) {
 			return true
 		}

@@ -66,7 +66,11 @@ func TestCounterModeCountsUnreachedCounter(t *testing.T) {
 
 	rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
 	res := &Result{Report: rep}
-	if timedOut := injectAll(app, w, tree, Config{}, rep, res, time.Time{}, nil); timedOut {
+	timedOut, err := injectAll(app, w, tree, Config{}, rep, res, time.Time{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timedOut {
 		t.Fatal("unexpected timeout")
 	}
 	if res.SkippedFailurePoints != 1 {
@@ -93,7 +97,11 @@ func TestCounterModeCountsFailedReplays(t *testing.T) {
 		rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
 		res := &Result{Report: rep}
 		bad := failingApp{app}
-		if timedOut := injectAll(bad, w, tree, Config{Workers: workers}, rep, res, time.Time{}, nil); timedOut {
+		timedOut, err := injectAll(bad, w, tree, Config{Workers: workers}, rep, res, time.Time{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if timedOut {
 			t.Fatal("unexpected timeout")
 		}
 		if res.Injections != 0 || res.Recoveries != 0 {
@@ -123,7 +131,10 @@ func TestStackModeAbortsAfterNoProgress(t *testing.T) {
 	// A short deadline turns a regressed livelock into a test failure
 	// (timedOut=true) instead of a hang.
 	deadline := time.Now().Add(30 * time.Second)
-	timedOut := injectAll(bad, w, tree, Config{StackMode: true}, rep, res, deadline, nil)
+	timedOut, err := injectAll(bad, w, tree, Config{StackMode: true}, rep, res, deadline, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if timedOut {
 		t.Fatal("campaign hit the deadline: no-progress retries were not bounded")
 	}

@@ -23,6 +23,7 @@ import (
 	"container/list"
 	"sync"
 
+	"mumak/internal/campaign"
 	"mumak/internal/harness"
 	"mumak/internal/oracle"
 	"mumak/internal/pmem"
@@ -108,6 +109,32 @@ func (c *imageCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// export flattens every cached verdict for a campaign snapshot, least
+// recently used first, so that seeding a fresh cache in export order
+// reproduces the recency ranking (and therefore future evictions).
+func (c *imageCache) export() []campaign.CacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]campaign.CacheEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*imageCacheEntry)
+		out = append(out, encodeCacheEntry(e.key, e.out))
+	}
+	return out
+}
+
+// seed warms the cache from a snapshot's exported entries (LRU-first
+// order). Verdicts are keyed by image content and the target is
+// deterministic, so entries from a previous process are as valid as
+// locally computed ones; seeding only saves the resumed campaign from
+// re-running recoveries the crashed run already paid for.
+func (c *imageCache) seed(entries []campaign.CacheEntry) {
+	for _, e := range entries {
+		k, out := decodeCacheEntry(e)
+		c.store(k, out)
+	}
 }
 
 // imageCacheCapacity resolves the configured capacity: zero selects the

@@ -31,7 +31,6 @@ import (
 	"mumak/internal/fpt"
 	"mumak/internal/harness"
 	"mumak/internal/pmem"
-	"mumak/internal/report"
 	"mumak/internal/stack"
 	"mumak/internal/workload"
 )
@@ -39,11 +38,15 @@ import (
 // injectParallel fans the pending leaves out across `workers` goroutines
 // pulling from the shared ClaimSet and merges the outcomes
 // deterministically. It returns whether the deadline expired before
-// every leaf was consumed.
+// every leaf was consumed. A graceful-interruption request is honoured
+// like the deadline — workers stop claiming, in-flight replays drain,
+// and the merge loop stops at the first unexecuted slot in leaf order —
+// but is attributed to Result.Interrupted instead of TimedOut.
 func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimSet,
-	stacks *stack.Table, mode campaignMode, cfg Config, rep *report.Report, res *Result,
+	stacks *stack.Table, mode campaignMode, m *mergeState,
 	sb sandboxCfg, cache *imageCache, ckpts *pmem.CheckpointStore, workers int) (timedOut bool) {
 
+	res := m.res
 	pending := cs.Pending()
 	n := len(pending)
 	if workers > n {
@@ -76,10 +79,11 @@ func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimS
 					return
 				}
 				taken[i] = true
-				if !sb.deadline.IsZero() && time.Now().After(sb.deadline) {
+				if sb.interrupted() || (!sb.deadline.IsZero() && time.Now().After(sb.deadline)) {
 					// Leave the slot marked not-executed; the merge
-					// loop turns the first such slot into TimedOut and
-					// the sweep below releases the claim.
+					// loop turns the first such slot into Interrupted
+					// or TimedOut and the sweep below releases the
+					// claim.
 					close(done[i])
 					return
 				}
@@ -91,7 +95,6 @@ func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimS
 		}()
 	}
 
-	m := &mergeState{mode: mode, cfg: cfg, rep: rep, res: res}
 	consumed := 0
 	for i := 0; i < n; i++ {
 		if m.capped() {
@@ -100,11 +103,18 @@ func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimS
 		<-done[i]
 		out := outcomes[i]
 		if !out.executed || out.deadlineHit {
-			// Either the worker saw the deadline before replaying, or
-			// the mid-replay watchdog cut the replay short: both are
-			// budget expiry, decided here in leaf order so speculative
-			// later replays are discarded exactly like the serial path.
-			timedOut = true
+			// The worker stopped before replaying (deadline or
+			// interruption) or the mid-replay watchdog cut the replay
+			// short; decided here in leaf order so speculative later
+			// replays are discarded exactly like the serial path. A
+			// mid-replay watchdog cut is always budget expiry; an
+			// unexecuted slot is attributed to the interruption when
+			// one is pending, to the deadline otherwise.
+			if !out.deadlineHit && sb.interrupted() {
+				res.Interrupted = true
+			} else {
+				timedOut = true
+			}
 			break
 		}
 		consumed = i + 1

@@ -1,0 +1,278 @@
+// Campaign journal plumbing: the deterministic merge loop publishes one
+// durable record per consumed failure point and periodically snapshots
+// campaign state; a resumed run folds the journaled prefix back through
+// the same merge step without re-executing a single replay.
+//
+// Why this yields byte-identical reports: the merge loop (serial and
+// parallel alike) consumes leaves strictly in FirstICount order, so the
+// journal is always a prefix of the deterministic campaign over the
+// tree the (deterministic) instrumented run rebuilds. Folding record i
+// into leaf i of LeavesByICount applies exactly the state transitions
+// the original consume did — findings, quarantines, counters, the cap
+// and the stack-mode no-progress abort — and the continuation replays
+// the remaining leaves exactly as an uninterrupted run would have.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"mumak/internal/campaign"
+	"mumak/internal/fpt"
+	"mumak/internal/oracle"
+	"mumak/internal/pmem"
+	"mumak/internal/report"
+)
+
+// DefaultSnapshotEvery is the default number of consumed failure points
+// between campaign snapshots (Config.SnapshotEvery overrides it).
+// Correctness never depends on snapshot frequency — resume folds the
+// journal records — so the cadence only trades snapshot I/O against how
+// much verdict-cache warmth a crash loses.
+const DefaultSnapshotEvery = 128
+
+// snapshotEvery resolves Config.SnapshotEvery: the default when zero,
+// disabled (0, final snapshot only) when negative.
+func (cfg Config) snapshotEvery() int {
+	switch {
+	case cfg.SnapshotEvery < 0:
+		return 0
+	case cfg.SnapshotEvery == 0:
+		return DefaultSnapshotEvery
+	default:
+		return cfg.SnapshotEvery
+	}
+}
+
+// recordOutcome flattens one consumed leaf's replay outcome into a
+// durable journal record.
+func recordOutcome(leaf *fpt.Leaf, out replayOutcome) campaign.Record {
+	rec := campaign.Record{
+		LeafID:       leaf.ID,
+		LeafICount:   leaf.FirstICount,
+		Events:       out.events,
+		Retries:      out.retries,
+		Injected:     out.injected,
+		Restored:     out.restored,
+		Recovered:    out.recovered,
+		RecoveryHung: out.recoveryHung,
+		TargetPanic:  out.targetPanic,
+		TargetHang:   out.targetHang,
+		CacheHit:     out.cacheHit,
+		CacheMiss:    out.cacheMiss,
+		SkipReason:   out.skipReason,
+		ImageHash:    out.imageHash,
+	}
+	if out.finding != nil {
+		rec.HasFinding = true
+		rec.FindingKind = uint8(out.finding.Kind)
+		rec.FindingICount = out.finding.ICount
+		rec.FindingAddr = out.finding.Addr
+		rec.FindingDetail = out.finding.Detail
+	}
+	return rec
+}
+
+// outcomeFromRecord reconstructs the replay outcome a journal record
+// documents, for the leaf of the rebuilt tree it matched. The finding's
+// call stack is the leaf's: every replay-phase finding carries its
+// leaf's stack, and leaf stacks are re-derived deterministically, so
+// the reconstruction renders byte-identically.
+func outcomeFromRecord(rec campaign.Record, leaf *fpt.Leaf) replayOutcome {
+	out := replayOutcome{
+		executed:     true,
+		events:       rec.Events,
+		retries:      rec.Retries,
+		injected:     rec.Injected,
+		restored:     rec.Restored,
+		recovered:    rec.Recovered,
+		recoveryHung: rec.RecoveryHung,
+		targetPanic:  rec.TargetPanic,
+		targetHang:   rec.TargetHang,
+		cacheHit:     rec.CacheHit,
+		cacheMiss:    rec.CacheMiss,
+		skipReason:   rec.SkipReason,
+		imageHash:    rec.ImageHash,
+	}
+	if rec.HasFinding {
+		out.finding = &report.Finding{
+			Kind:   report.Kind(rec.FindingKind),
+			ICount: rec.FindingICount,
+			Addr:   rec.FindingAddr,
+			Stack:  leaf.Stack,
+			Detail: rec.FindingDetail,
+		}
+	}
+	return out
+}
+
+// encodeCacheEntry flattens one verdict-cache entry for a snapshot. The
+// oracle outcome's error and panic value become their rendered strings,
+// which is exactly what Describe interpolates — a decoded entry renders
+// byte-for-byte like the live one.
+func encodeCacheEntry(k imageKey, out oracle.Outcome) campaign.CacheEntry {
+	e := campaign.CacheEntry{
+		Hash:            k.hash,
+		Size:            k.size,
+		Verdict:         uint8(out.Verdict),
+		PanicTrace:      out.PanicTrace,
+		BoundsMaxEvents: out.Bounds.MaxEvents,
+		BoundsTimeout:   out.Bounds.Timeout,
+	}
+	if out.Err != nil {
+		e.HasErr = true
+		e.ErrMsg = out.Err.Error()
+	}
+	if out.PanicValue != nil {
+		e.HasPanic = true
+		e.PanicValue = fmt.Sprint(out.PanicValue)
+	}
+	if out.Hang != nil {
+		e.HasHang = true
+		e.HangICount = out.Hang.ICount
+		e.HangBudget = out.Hang.Budget
+		e.HangDeadline = out.Hang.Deadline
+	}
+	return e
+}
+
+// decodeCacheEntry reconstructs the detached oracle outcome of a
+// snapshot cache entry.
+func decodeCacheEntry(e campaign.CacheEntry) (imageKey, oracle.Outcome) {
+	out := oracle.Outcome{
+		Verdict:    oracle.Verdict(e.Verdict),
+		PanicTrace: e.PanicTrace,
+		Bounds:     oracle.Watchdog{MaxEvents: e.BoundsMaxEvents, Timeout: e.BoundsTimeout},
+	}
+	if e.HasErr {
+		out.Err = errors.New(e.ErrMsg)
+	}
+	if e.HasPanic {
+		out.PanicValue = e.PanicValue
+	}
+	if e.HasHang {
+		out.Hang = &pmem.HangSignal{ICount: e.HangICount, Budget: e.HangBudget, Deadline: e.HangDeadline}
+	}
+	return imageKey{hash: e.Hash, size: e.Size}, out
+}
+
+// fold replays the journaled prefix through the merge state without
+// executing anything: each record is matched to the rebuilt tree's next
+// unexplored leaf in FirstICount order (the cross-process leaf key),
+// claimed, and consumed exactly as the original merge did. It reports
+// whether the folded prefix already ended the campaign (stack-mode
+// no-progress abort), and errors when the journal does not match this
+// run's tree — resuming under a different target, workload or injection
+// mode would silently corrupt the report.
+func (m *mergeState) fold(st *campaign.State) (aborted bool, err error) {
+	if len(st.Records) == 0 {
+		return false, nil
+	}
+	ordered := m.tree.LeavesByICount()
+	if len(st.Records) > len(ordered) {
+		return false, fmt.Errorf("campaign journal holds %d verdicts but this run found only %d failure points (target, workload or flags changed since the journal was recorded)",
+			len(st.Records), len(ordered))
+	}
+	m.folding = true
+	defer func() { m.folding = false }()
+	for i, rec := range st.Records {
+		leaf := ordered[i]
+		if leaf.FirstICount != rec.LeafICount {
+			return false, fmt.Errorf("campaign journal diverges at verdict %d: the journal's failure point first occurs at instruction %d, this run's at %d (target, workload or flags changed since the journal was recorded)",
+				i, rec.LeafICount, leaf.FirstICount)
+		}
+		m.cs.Claim(leaf)
+		m.res.ResumedFailurePoints++
+		if m.consume(leaf, outcomeFromRecord(rec, leaf)) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// publish durably appends one consumed leaf's record and, every
+// snapEvery records, refreshes the snapshot. A journal write failure
+// degrades the campaign to unjournaled (recorded in Result.JournalError)
+// instead of aborting it: losing resumability must not lose the run.
+func (m *mergeState) publish(leaf *fpt.Leaf, out replayOutcome) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Append(recordOutcome(leaf, out)); err != nil {
+		m.res.JournalError = err.Error()
+		m.journal = nil
+		return
+	}
+	m.res.JournalAppends++
+	m.sinceSnap++
+	if m.snapEvery > 0 && m.sinceSnap >= m.snapEvery {
+		m.writeSnapshot()
+		m.sinceSnap = 0
+	}
+}
+
+// writeSnapshot atomically persists the campaign state covering the
+// consumed prefix. A snapshot failure only disables further snapshots —
+// the journal alone is sufficient for resume.
+func (m *mergeState) writeSnapshot() {
+	if m.journal == nil {
+		return
+	}
+	snap, err := m.buildSnapshot()
+	if err == nil {
+		err = m.journal.WriteSnapshot(snap)
+	}
+	if err != nil {
+		if m.res.JournalError == "" {
+			m.res.JournalError = err.Error()
+		}
+		m.snapEvery = 0
+		return
+	}
+	m.res.JournalSnapshots++
+}
+
+// finalSnapshot persists the campaign's end state however the campaign
+// ended — completion, budget expiry, interruption, cap, abort. Deferred
+// from injectAll.
+func (m *mergeState) finalSnapshot() {
+	m.writeSnapshot()
+}
+
+// buildSnapshot assembles the snapshot for the consumed prefix. The
+// tree is encoded with a fresh claim view over exactly the consumed
+// leaves: the live ClaimSet also carries speculative worker claims
+// whose outcomes were never merged, and marking those visited would
+// skip unexplored failure points on a restore.
+func (m *mergeState) buildSnapshot() (campaign.Snapshot, error) {
+	view := fpt.NewClaimSet(m.tree)
+	for _, l := range m.tree.LeavesByICount()[:m.consumed] {
+		view.Claim(l)
+	}
+	var tb bytes.Buffer
+	if err := m.tree.Encode(&tb, view); err != nil {
+		return campaign.Snapshot{}, err
+	}
+	var rb bytes.Buffer
+	if err := m.rep.EncodeWire(&rb); err != nil {
+		return campaign.Snapshot{}, err
+	}
+	snap := campaign.Snapshot{
+		Consumed: m.consumed,
+		Tree:     tb.Bytes(),
+		Report:   rb.Bytes(),
+		Counters: campaign.Counters{
+			Injections:   m.res.Injections,
+			Recoveries:   m.res.Recoveries,
+			Skipped:      m.res.SkippedFailurePoints,
+			Quarantined:  m.res.QuarantinedFailurePoints,
+			Retried:      m.res.RetriedFailurePoints,
+			EngineEvents: m.res.EngineEvents,
+		},
+	}
+	if m.cache != nil {
+		snap.Cache = m.cache.export()
+	}
+	return snap, nil
+}

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mumak/internal/campaign"
+	"mumak/internal/core"
+	"mumak/internal/harness"
+)
+
+// quarantineConfig disables checkpoints so counter-mode replays
+// actually re-execute the fixture (a checkpointed replay runs no
+// application code and cannot observe the seeded failure).
+func quarantineConfig(stackMode bool, workers int) core.Config {
+	return core.Config{StackMode: stackMode, Workers: workers, CheckpointInterval: -1}
+}
+
+// TestBrokenReplaysAreQuarantined is the robustness acceptance test: a
+// target whose every replay fails must not abort the campaign or
+// silently drop coverage — every failure point ends up in the report's
+// quarantined section, in counter and stack mode, serial and parallel.
+func TestBrokenReplaysAreQuarantined(t *testing.T) {
+	for _, stackMode := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			res, err := core.Analyze(fixture(t, "misbehave-replay-broken"), fixtureWorkload(),
+				quarantineConfig(stackMode, workers))
+			if err != nil {
+				t.Fatalf("stack=%v workers=%d: campaign aborted: %v", stackMode, workers, err)
+			}
+			if res.QuarantinedFailurePoints == 0 {
+				t.Fatalf("stack=%v workers=%d: no failure points quarantined", stackMode, workers)
+			}
+			if res.QuarantinedFailurePoints != res.Tree.Len() {
+				t.Errorf("stack=%v workers=%d: quarantined %d of %d failure points",
+					stackMode, workers, res.QuarantinedFailurePoints, res.Tree.Len())
+			}
+			if res.SkippedFailurePoints < res.QuarantinedFailurePoints {
+				t.Errorf("stack=%v workers=%d: skipped %d < quarantined %d; quarantine must stay a subset",
+					stackMode, workers, res.SkippedFailurePoints, res.QuarantinedFailurePoints)
+			}
+			if res.Injections != 0 {
+				t.Errorf("stack=%v workers=%d: broken replays injected %d faults", stackMode, workers, res.Injections)
+			}
+			text := res.Report.Format(false)
+			if !strings.Contains(text, "quarantined failure points:") ||
+				!strings.Contains(text, "seeded replay failure") {
+				t.Errorf("stack=%v workers=%d: report lacks the quarantine section:\n%s", stackMode, workers, text)
+			}
+		}
+	}
+}
+
+// TestFlakyReplayIsRetriedNotQuarantined: one transient replay failure
+// must be absorbed by the bounded retry, costing a retry counter and
+// nothing else.
+func TestFlakyReplayIsRetriedNotQuarantined(t *testing.T) {
+	res, err := core.Analyze(fixture(t, "misbehave-replay-flaky"), fixtureWorkload(),
+		quarantineConfig(false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetriedFailurePoints != 1 {
+		t.Errorf("RetriedFailurePoints = %d, want 1", res.RetriedFailurePoints)
+	}
+	if res.QuarantinedFailurePoints != 0 || res.SkippedFailurePoints != 0 {
+		t.Errorf("transient failure was not retried away: quarantined=%d skipped=%d",
+			res.QuarantinedFailurePoints, res.SkippedFailurePoints)
+	}
+	if res.Injections != res.Tree.Len() {
+		t.Errorf("Injections = %d, want full coverage of %d", res.Injections, res.Tree.Len())
+	}
+	if strings.Contains(res.Report.Format(false), "quarantined") {
+		t.Error("report grew a quarantine section for a retried-away failure")
+	}
+}
+
+// TestQuarantineSurvivesJournalResume: quarantined leaves are journaled
+// verdicts like any other — a resumed campaign must reproduce the
+// quarantine section byte-identically without re-running the replays.
+func TestQuarantineSurvivesJournalResume(t *testing.T) {
+	mk := func() harness.Application { return fixture(t, "misbehave-replay-broken") }
+	cfg := quarantineConfig(false, 1)
+	ref, err := core.Analyze(mk(), fixtureWorkload(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	analyzeJournaled(t, mk, fixtureWorkload(), cfg, dir)
+	logLen := fileSize(t, filepath.Join(dir, campaign.JournalFile))
+	cut := copyTruncated(t, dir, logLen/2, true)
+	res := analyzeResumed(t, mk, fixtureWorkload(), cfg, cut)
+	assertResumeMatches(t, "quarantine-resume", ref, res)
+	if res.QuarantinedFailurePoints != ref.QuarantinedFailurePoints {
+		t.Errorf("resumed run quarantined %d failure points, want %d",
+			res.QuarantinedFailurePoints, ref.QuarantinedFailurePoints)
+	}
+}

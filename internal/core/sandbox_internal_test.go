@@ -143,7 +143,11 @@ func TestCampaignCountsRetries(t *testing.T) {
 	rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
 	res := &Result{Report: rep}
 	flaky := &flakyApp{Application: testTarget(), failures: 1}
-	if timedOut := injectAll(flaky, w, tree, Config{}, rep, res, time.Time{}, nil); timedOut {
+	timedOut, err := injectAll(flaky, w, tree, Config{}, rep, res, time.Time{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timedOut {
 		t.Fatal("unexpected timeout")
 	}
 	if res.RetriedFailurePoints != 1 {

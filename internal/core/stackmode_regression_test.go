@@ -132,7 +132,11 @@ func TestStackModeWorkersOneMatchesLegacySerial(t *testing.T) {
 		rep := &report.Report{Target: "test", Tool: "test", Stacks: stacks}
 		res := &Result{Report: rep}
 		cfg := Config{StackMode: true, Workers: workers}
-		if timedOut := injectAll(mk(), w, tree, cfg, rep, res, time.Time{}, nil); timedOut {
+		timedOut, err := injectAll(mk(), w, tree, cfg, rep, res, time.Time{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if timedOut {
 			t.Fatal("unexpected timeout")
 		}
 		if got := rep.Format(true); got != want {

@@ -1,11 +1,31 @@
 package fpt
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"mumak/internal/stack"
+)
+
+// Tree artifact framing: a fixed header — magic, format version,
+// payload length, payload CRC — wraps the gob payload, so a truncated
+// or corrupt artifact (a crash mid-write, a stray file) is rejected
+// with a diagnostic instead of feeding garbage to the gob decoder.
+var treeMagic = [8]byte{'M', 'U', 'M', 'A', 'K', 'F', 'P', 'T'}
+
+const (
+	// treeVersion is the artifact format version.
+	treeVersion = 1
+	// treeHeaderLen is magic(8) + version(4) + payload length(8) +
+	// payload CRC(4).
+	treeHeaderLen = 24
+	// maxTreePayload bounds the declared payload length; anything
+	// larger is a corrupt header, not a multi-GiB allocation.
+	maxTreePayload = 1 << 31
 )
 
 // wireLeaf is the serialised form of one failure point.
@@ -27,9 +47,12 @@ type wireTree struct {
 // marks it claimed. Pass a nil ClaimSet to serialise a fresh tree. A
 // round-tripped claim state is what makes campaigns resumable — the
 // restored set's pending snapshot contains exactly the unexplored
-// failure points. Program counters are only stable within one process
-// image — the same constraint that makes the original pre-allocate Pin's
-// memory and disable address-space randomisation (§5, A.3).
+// failure points. The payload is framed with a magic, a version, its
+// length and a CRC so ReadTree can reject truncated or corrupt
+// artifacts with a diagnostic. Program counters are only stable within
+// one process image — the same constraint that makes the original
+// pre-allocate Pin's memory and disable address-space randomisation
+// (§5, A.3).
 func (t *Tree) Encode(w io.Writer, claims *ClaimSet) error {
 	wt := wireTree{Leaves: make([]wireLeaf, 0, len(t.leaves))}
 	for _, l := range t.leaves {
@@ -42,17 +65,55 @@ func (t *Tree) Encode(w io.Writer, claims *ClaimSet) error {
 			Visited:     claims != nil && claims.Claimed(l),
 		})
 	}
-	return gob.NewEncoder(w).Encode(&wt)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&wt); err != nil {
+		return fmt.Errorf("fpt: encoding tree: %w", err)
+	}
+	var hdr [treeHeaderLen]byte
+	copy(hdr[0:8], treeMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], treeVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("fpt: writing tree header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("fpt: writing tree payload: %w", err)
+	}
+	return nil
 }
 
 // ReadTree deserialises a tree into the given stack table, rebuilding
 // the trie and re-interning every stack. The returned claim set carries
 // the serialised visited marks: leaves injected before the encode are
 // pre-claimed, so a campaign resumed over the restored tree traverses
-// only the remainder.
+// only the remainder. Truncated or corrupt artifacts — and files that
+// are not tree artifacts at all — are rejected with a diagnostic, never
+// a decode panic.
 func ReadTree(r io.Reader, stacks *stack.Table) (*Tree, *ClaimSet, error) {
+	var hdr [treeHeaderLen]byte
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("fpt: truncated tree artifact: %d-byte header (want %d): %v", n, treeHeaderLen, err)
+	}
+	if !bytes.Equal(hdr[0:8], treeMagic[:]) {
+		return nil, nil, fmt.Errorf("fpt: not a failure point tree artifact (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != treeVersion {
+		return nil, nil, fmt.Errorf("fpt: unsupported tree artifact version %d (want %d)", v, treeVersion)
+	}
+	plen := binary.LittleEndian.Uint64(hdr[12:20])
+	if plen == 0 || plen > maxTreePayload {
+		return nil, nil, fmt.Errorf("fpt: corrupt tree artifact: implausible payload length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if n, err := io.ReadFull(r, payload); err != nil {
+		return nil, nil, fmt.Errorf("fpt: truncated tree artifact: %d of %d payload bytes: %v", n, plen, err)
+	}
+	if sum := binary.LittleEndian.Uint32(hdr[20:24]); crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, fmt.Errorf("fpt: corrupt tree artifact: payload checksum mismatch")
+	}
 	var wt wireTree
-	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+	if err := decodeTree(payload, &wt); err != nil {
 		return nil, nil, fmt.Errorf("fpt: decoding tree: %w", err)
 	}
 	t := New(stacks)
@@ -73,4 +134,16 @@ func ReadTree(r io.Reader, stacks *stack.Table) (*Tree, *ClaimSet, error) {
 		claims.Claim(l)
 	}
 	return t, claims, nil
+}
+
+// decodeTree gob-decodes the checksummed payload, converting decoder
+// panics on adversarially malformed (but checksum-matching) input into
+// errors.
+func decodeTree(payload []byte, wt *wireTree) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("decode panic: %v", r)
+		}
+	}()
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(wt)
 }

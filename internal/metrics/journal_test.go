@@ -1,0 +1,18 @@
+package metrics
+
+import "testing"
+
+func TestJournalCountersAccumulate(t *testing.T) {
+	ResetJournalCounters()
+	RecordJournal(10, 2, 0)
+	RecordJournal(5, 1, 7)
+	appends, snapshots, resumed := JournalCounters()
+	if appends != 15 || snapshots != 3 || resumed != 7 {
+		t.Errorf("JournalCounters = %d/%d/%d, want 15/3/7", appends, snapshots, resumed)
+	}
+	ResetJournalCounters()
+	appends, snapshots, resumed = JournalCounters()
+	if appends != 0 || snapshots != 0 || resumed != 0 {
+		t.Errorf("reset left %d/%d/%d", appends, snapshots, resumed)
+	}
+}

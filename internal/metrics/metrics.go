@@ -344,3 +344,36 @@ func ResetCheckpointCounters() {
 	checkpointBytes.Store(0)
 	checkpointRestores.Store(0)
 }
+
+// Campaign-journal counters. Every analysis folds its crash-safety
+// traffic in here — durable verdict records appended, atomic snapshots
+// written, and failure points whose verdicts were folded from a resumed
+// journal instead of replayed — so harnesses can observe process-wide
+// how much work resumability saved.
+var (
+	journalAppends   atomic.Int64
+	journalSnapshots atomic.Int64
+	journalResumed   atomic.Int64
+)
+
+// RecordJournal accumulates one analysis run's journal activity. Safe
+// for concurrent runs.
+func RecordJournal(appends, snapshots, resumed int) {
+	journalAppends.Add(int64(appends))
+	journalSnapshots.Add(int64(snapshots))
+	journalResumed.Add(int64(resumed))
+}
+
+// JournalCounters returns the process-wide journal totals recorded
+// since the last reset: records appended, snapshots written, and
+// failure points restored from resumed journals.
+func JournalCounters() (appends, snapshots, resumed int) {
+	return int(journalAppends.Load()), int(journalSnapshots.Load()), int(journalResumed.Load())
+}
+
+// ResetJournalCounters zeroes the journal totals.
+func ResetJournalCounters() {
+	journalAppends.Store(0)
+	journalSnapshots.Store(0)
+	journalResumed.Store(0)
+}

@@ -18,19 +18,51 @@ type jsonFinding struct {
 	BugPath []string `json:"bug_path,omitempty"`
 }
 
+// jsonQuarantined is the machine-readable form of one quarantined
+// failure point.
+type jsonQuarantined struct {
+	FailurePoint int      `json:"failure_point"`
+	ICount       uint64   `json:"instruction"`
+	Reason       string   `json:"reason"`
+	Retries      int      `json:"retries"`
+	BugPath      []string `json:"bug_path,omitempty"`
+}
+
 // jsonReport is the machine-readable report envelope.
 type jsonReport struct {
-	Target   string        `json:"target"`
-	Tool     string        `json:"tool"`
-	Bugs     int           `json:"bugs"`
-	Warnings int           `json:"warnings"`
-	Findings []jsonFinding `json:"findings"`
+	Target          string            `json:"target"`
+	Tool            string            `json:"tool"`
+	Bugs            int               `json:"bugs"`
+	Warnings        int               `json:"warnings"`
+	Interrupted     bool              `json:"interrupted,omitempty"`
+	BudgetExhausted bool              `json:"budget_exhausted,omitempty"`
+	Findings        []jsonFinding     `json:"findings"`
+	Quarantined     []jsonQuarantined `json:"quarantined_leaves,omitempty"`
 }
 
 // WriteJSON emits the unique findings as JSON, the CI-pipeline-friendly
 // counterpart of Format.
 func (r *Report) WriteJSON(w io.Writer, withWarnings bool) error {
-	out := jsonReport{Target: r.Target, Tool: r.Tool}
+	out := jsonReport{
+		Target:          r.Target,
+		Tool:            r.Tool,
+		Interrupted:     r.Interrupted,
+		BudgetExhausted: r.BudgetExhausted,
+	}
+	for _, q := range r.Quarantined {
+		jq := jsonQuarantined{
+			FailurePoint: q.LeafID,
+			ICount:       q.ICount,
+			Reason:       q.Reason,
+			Retries:      q.Retries,
+		}
+		if r.Stacks != nil && q.Stack != stack.NoID {
+			for _, fr := range r.Stacks.Frames(q.Stack) {
+				jq.BugPath = append(jq.BugPath, fr.String())
+			}
+		}
+		out.Quarantined = append(out.Quarantined, jq)
+	}
 	for _, f := range r.Unique() {
 		if f.Kind.IsWarning() {
 			out.Warnings++

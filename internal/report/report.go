@@ -128,16 +128,44 @@ type Finding struct {
 	Detail string
 }
 
-// Report is the output of one analysis. Add and Merge are safe to call
-// from concurrent campaign workers; the read accessors (Unique, Bugs,
-// Format, ...) expect the findings to be quiescent, as they are once a
-// campaign has been merged.
+// QuarantinedLeaf records a failure point whose replays kept failing
+// after the campaign's bounded retries: the leaf was consumed without
+// an injection and set aside, so one bad leaf can never sink a long
+// campaign — but the coverage gap is reported, never silently dropped.
+type QuarantinedLeaf struct {
+	// LeafID and ICount identify the failure point (tree leaf ID and
+	// first-occurrence instruction counter).
+	LeafID int
+	ICount uint64
+	// Stack is the failure point's code path (stack.NoID when
+	// unresolved).
+	Stack stack.ID
+	// Reason is the final skip reason after the last retry.
+	Reason string
+	// Retries is the number of extra replay attempts spent before
+	// giving up.
+	Retries int
+}
+
+// Report is the output of one analysis. Add, Quarantine and Merge are
+// safe to call from concurrent campaign workers; the read accessors
+// (Unique, Bugs, Format, ...) expect the findings to be quiescent, as
+// they are once a campaign has been merged.
 type Report struct {
 	// Target and Tool identify the run.
 	Target string
 	Tool   string
 	// Findings holds every raw finding before unique-filtering.
 	Findings []Finding
+	// Quarantined lists failure points set aside after exhausted
+	// replay retries, in campaign merge order.
+	Quarantined []QuarantinedLeaf
+	// Interrupted marks a partial report: the campaign was gracefully
+	// interrupted (SIGINT/SIGTERM) before consuming every failure
+	// point. BudgetExhausted marks a partial report cut by the
+	// analysis wall-clock budget instead.
+	Interrupted     bool
+	BudgetExhausted bool
 	// Stacks resolves finding stacks for rendering.
 	Stacks *stack.Table
 
@@ -148,6 +176,13 @@ type Report struct {
 func (r *Report) Add(f Finding) {
 	r.mu.Lock()
 	r.Findings = append(r.Findings, f)
+	r.mu.Unlock()
+}
+
+// Quarantine appends a quarantined failure point.
+func (r *Report) Quarantine(q QuarantinedLeaf) {
+	r.mu.Lock()
+	r.Quarantined = append(r.Quarantined, q)
 	r.mu.Unlock()
 }
 
@@ -261,6 +296,23 @@ func (r *Report) Format(withWarnings bool) string {
 		for i, f := range warns {
 			render(len(bugs)+i, f)
 		}
+	}
+	if len(r.Quarantined) > 0 {
+		fmt.Fprintf(&sb, "\nquarantined failure points: %d (replays kept failing after bounded retries; coverage is incomplete)\n",
+			len(r.Quarantined))
+		for _, q := range r.Quarantined {
+			fmt.Fprintf(&sb, "  - failure point #%d (instruction %d), %d retries: %s\n",
+				q.LeafID, q.ICount, q.Retries, q.Reason)
+			if r.Stacks != nil && q.Stack != stack.NoID {
+				fmt.Fprintf(&sb, "%s\n", r.Stacks.Format(q.Stack))
+			}
+		}
+	}
+	if r.BudgetExhausted {
+		sb.WriteString("\nanalysis budget exhausted: this is a partial report\n")
+	}
+	if r.Interrupted {
+		sb.WriteString("\ncampaign interrupted: this is a partial report (resume from the journal to complete it)\n")
 	}
 	return sb.String()
 }

@@ -1,0 +1,202 @@
+// Wire serialisation of reports, used by the campaign journal's
+// snapshots and (eventually) the sharded campaign service: findings
+// travel with their full call-stack program counters and are re-interned
+// into the destination's stack table on decode, so a decoded report
+// renders byte-identically to the original within the same process
+// image (PCs are process-local, the same constraint the failure point
+// tree artifact documents).
+package report
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mumak/internal/stack"
+)
+
+// wireFinding is the serialised form of one finding; the interned stack
+// ID is flattened to its program counters.
+type wireFinding struct {
+	Kind   uint8
+	ICount uint64
+	Addr   uint64
+	PCs    []uintptr
+	Detail string
+}
+
+// wireQuarantined is the serialised form of one quarantined leaf.
+type wireQuarantined struct {
+	LeafID  int
+	ICount  uint64
+	PCs     []uintptr
+	Reason  string
+	Retries int
+}
+
+// wireReport is the serialised report envelope.
+type wireReport struct {
+	Target          string
+	Tool            string
+	Interrupted     bool
+	BudgetExhausted bool
+	Findings        []wireFinding
+	Quarantined     []wireQuarantined
+}
+
+// EncodeWire serialises the report — findings, quarantined leaves and
+// the partial-report markers — with full call-stack PCs. It locks the
+// report, so a campaign merge goroutine may snapshot it mid-run.
+func (r *Report) EncodeWire(w io.Writer) error {
+	r.mu.Lock()
+	wr := wireReport{
+		Target:          r.Target,
+		Tool:            r.Tool,
+		Interrupted:     r.Interrupted,
+		BudgetExhausted: r.BudgetExhausted,
+		Findings:        make([]wireFinding, 0, len(r.Findings)),
+		Quarantined:     make([]wireQuarantined, 0, len(r.Quarantined)),
+	}
+	for _, f := range r.Findings {
+		wr.Findings = append(wr.Findings, wireFinding{
+			Kind:   uint8(f.Kind),
+			ICount: f.ICount,
+			Addr:   f.Addr,
+			PCs:    r.pcsOf(f.Stack),
+			Detail: f.Detail,
+		})
+	}
+	for _, q := range r.Quarantined {
+		wr.Quarantined = append(wr.Quarantined, wireQuarantined{
+			LeafID:  q.LeafID,
+			ICount:  q.ICount,
+			PCs:     r.pcsOf(q.Stack),
+			Reason:  q.Reason,
+			Retries: q.Retries,
+		})
+	}
+	r.mu.Unlock()
+	return gob.NewEncoder(w).Encode(&wr)
+}
+
+// pcsOf flattens an interned stack to a private copy of its PCs; nil
+// for an unresolved stack. Callers hold r.mu.
+func (r *Report) pcsOf(id stack.ID) []uintptr {
+	if r.Stacks == nil || id == stack.NoID {
+		return nil
+	}
+	pcs := r.Stacks.PCs(id)
+	if len(pcs) == 0 {
+		return nil
+	}
+	cp := make([]uintptr, len(pcs))
+	copy(cp, pcs)
+	return cp
+}
+
+// DecodeWire deserialises a report, re-interning every call stack into
+// the given table. Decoder panics on malformed input become errors.
+func DecodeWire(rd io.Reader, stacks *stack.Table) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("report: decode panic: %v", r)
+		}
+	}()
+	var wr wireReport
+	if err := gob.NewDecoder(rd).Decode(&wr); err != nil {
+		return nil, fmt.Errorf("report: decoding wire report: %w", err)
+	}
+	rep = &Report{
+		Target:          wr.Target,
+		Tool:            wr.Tool,
+		Interrupted:     wr.Interrupted,
+		BudgetExhausted: wr.BudgetExhausted,
+		Stacks:          stacks,
+	}
+	intern := func(pcs []uintptr) stack.ID {
+		if len(pcs) == 0 {
+			return stack.NoID
+		}
+		return stacks.Intern(pcs)
+	}
+	for _, f := range wr.Findings {
+		rep.Findings = append(rep.Findings, Finding{
+			Kind:   Kind(f.Kind),
+			ICount: f.ICount,
+			Addr:   f.Addr,
+			Stack:  intern(f.PCs),
+			Detail: f.Detail,
+		})
+	}
+	for _, q := range wr.Quarantined {
+		rep.Quarantined = append(rep.Quarantined, QuarantinedLeaf{
+			LeafID:  q.LeafID,
+			ICount:  q.ICount,
+			Stack:   intern(q.PCs),
+			Reason:  q.Reason,
+			Retries: q.Retries,
+		})
+	}
+	return rep, nil
+}
+
+// MergeUnique folds other into r, skipping findings and quarantined
+// leaves r already holds (same kind, instruction, address, code path
+// and detail — the exact-duplicate key, stricter than Unique's
+// one-per-bug collapse) and OR-ing the partial-report markers. Both
+// reports must share one stack table (as DecodeWire arranges) for code
+// paths to compare. This is the idempotent merge the campaign journal
+// and the sharded campaign service need: folding the same shard's
+// partial report twice cannot double-count.
+func (r *Report) MergeUnique(other *Report) {
+	if other == nil || r == other {
+		return
+	}
+	other.mu.Lock()
+	fs := make([]Finding, len(other.Findings))
+	copy(fs, other.Findings)
+	qs := make([]QuarantinedLeaf, len(other.Quarantined))
+	copy(qs, other.Quarantined)
+	interrupted, exhausted := other.Interrupted, other.BudgetExhausted
+	other.mu.Unlock()
+
+	type fkey struct {
+		kind   Kind
+		icount uint64
+		addr   uint64
+		stack  stack.ID
+		detail string
+	}
+	type qkey struct {
+		leaf   int
+		icount uint64
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seenF := make(map[fkey]bool, len(r.Findings))
+	for _, f := range r.Findings {
+		seenF[fkey{f.Kind, f.ICount, f.Addr, f.Stack, f.Detail}] = true
+	}
+	for _, f := range fs {
+		k := fkey{f.Kind, f.ICount, f.Addr, f.Stack, f.Detail}
+		if seenF[k] {
+			continue
+		}
+		seenF[k] = true
+		r.Findings = append(r.Findings, f)
+	}
+	seenQ := make(map[qkey]bool, len(r.Quarantined))
+	for _, q := range r.Quarantined {
+		seenQ[qkey{q.LeafID, q.ICount}] = true
+	}
+	for _, q := range qs {
+		k := qkey{q.LeafID, q.ICount}
+		if seenQ[k] {
+			continue
+		}
+		seenQ[k] = true
+		r.Quarantined = append(r.Quarantined, q)
+	}
+	r.Interrupted = r.Interrupted || interrupted
+	r.BudgetExhausted = r.BudgetExhausted || exhausted
+}

@@ -1,0 +1,129 @@
+package report_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	. "mumak/internal/report"
+	"mumak/internal/stack"
+)
+
+func wireFixture(stacks *stack.Table) *Report {
+	rep := &Report{Target: "btree", Tool: "mumak", Stacks: stacks}
+	rep.Add(Finding{
+		Kind: CrashConsistency, ICount: 42, Addr: 0x40,
+		Stack: stacks.Intern([]uintptr{10, 20, 30}), Detail: "unflushed line",
+	})
+	rep.Add(Finding{
+		Kind: TargetCrash, ICount: 77,
+		Stack: stacks.Intern([]uintptr{11, 20, 30}), Detail: "panic: boom",
+	})
+	rep.Quarantine(QuarantinedLeaf{
+		LeafID: 3, ICount: 99, Stack: stacks.Intern([]uintptr{12, 20, 30}),
+		Reason: "replay failed before the failure point", Retries: 2,
+	})
+	rep.Interrupted = true
+	return rep
+}
+
+// TestWireRoundTrip: a decoded report renders byte-identically to the
+// original within the same process (the PCs re-intern into the new
+// table and resolve to the same symbols).
+func TestWireRoundTrip(t *testing.T) {
+	stacks := stack.NewTable()
+	rep := wireFixture(stacks)
+	var buf bytes.Buffer
+	if err := rep.EncodeWire(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWire(&buf, stack.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format(true) != rep.Format(true) {
+		t.Fatalf("decoded report renders differently\n--- original ---\n%s\n--- decoded ---\n%s",
+			rep.Format(true), got.Format(true))
+	}
+	if !got.Interrupted {
+		t.Fatal("interruption marker lost on the wire")
+	}
+	if len(got.Quarantined) != 1 || got.Quarantined[0].Retries != 2 {
+		t.Fatalf("quarantined leaves did not round-trip: %+v", got.Quarantined)
+	}
+}
+
+// TestDecodeWireRejectsGarbage: torn or corrupt snapshot bytes must
+// come back as an error, never a decoder panic.
+func TestDecodeWireRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("not a gob stream"),
+		{0x7f, 0x03, 0x01, 0x00, 0xff},
+	} {
+		if _, err := DecodeWire(bytes.NewReader(data), stack.NewTable()); err == nil {
+			t.Fatalf("garbage %q accepted", data)
+		}
+	}
+	// A torn prefix of a valid encoding.
+	var buf bytes.Buffer
+	if err := wireFixture(stack.NewTable()).EncodeWire(&buf); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()/2]
+	if _, err := DecodeWire(bytes.NewReader(torn), stack.NewTable()); err == nil {
+		t.Fatal("torn wire report accepted")
+	}
+}
+
+// TestMergeUniqueIsIdempotent: folding the same partial report twice
+// must not double-count findings or quarantined leaves — the property
+// resumed campaigns (and later, shard merges) rely on.
+func TestMergeUniqueIsIdempotent(t *testing.T) {
+	stacks := stack.NewTable()
+	dst := &Report{Target: "btree", Tool: "mumak", Stacks: stacks}
+	src := wireFixture(stacks)
+	dst.MergeUnique(src)
+	nf, nq := len(dst.Findings), len(dst.Quarantined)
+	dst.MergeUnique(src)
+	if len(dst.Findings) != nf || len(dst.Quarantined) != nq {
+		t.Fatalf("second merge grew the report: findings %d→%d quarantined %d→%d",
+			nf, len(dst.Findings), nq, len(dst.Quarantined))
+	}
+	if !dst.Interrupted {
+		t.Fatal("interruption marker not OR-ed across the merge")
+	}
+	// A genuinely new finding still lands.
+	extra := &Report{Target: "btree", Tool: "mumak", Stacks: stacks}
+	extra.Add(Finding{Kind: CrashConsistency, ICount: 1234, Detail: "new"})
+	dst.MergeUnique(extra)
+	if len(dst.Findings) != nf+1 {
+		t.Fatalf("new finding was dropped: %d findings, want %d", len(dst.Findings), nf+1)
+	}
+}
+
+// TestFormatMarkersAndQuarantine: the human-readable rendering carries
+// the partial-report markers and the quarantine section.
+func TestFormatMarkersAndQuarantine(t *testing.T) {
+	stacks := stack.NewTable()
+	rep := wireFixture(stacks)
+	rep.BudgetExhausted = true
+	text := rep.Format(false)
+	for _, want := range []string{
+		"quarantined failure points: 1",
+		"replay failed before the failure point",
+		"campaign interrupted",
+		"analysis budget exhausted",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format output lacks %q:\n%s", want, text)
+		}
+	}
+	clean := &Report{Target: "t", Tool: "m"}
+	text = clean.Format(false)
+	for _, absent := range []string{"quarantined", "interrupted", "exhausted"} {
+		if strings.Contains(text, absent) {
+			t.Errorf("clean report mentions %q:\n%s", absent, text)
+		}
+	}
+}
