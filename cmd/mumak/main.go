@@ -73,6 +73,8 @@ func main() {
 		exitZero   = flag.Bool("exit-zero", false, "exit 0 even when bugs were found (smoke tests that assert findings without failing the step)")
 		journalDir = flag.String("journal", "", "directory for a durable campaign journal: every verdict is fsync'd, so a killed campaign resumes with -resume")
 		resume     = flag.Bool("resume", false, "resume the journaled campaign in -journal instead of starting fresh")
+		classing   = flag.Bool("classing", true, "group failure points by phase-1 crash-image hash and replay one representative per class; the rest inherit its verdict (reports are byte-identical)")
+		vcFile     = flag.String("verdict-cache-file", "", "persistent cross-run verdict cache file: re-runs of the identical campaign replay only crash images never judged before")
 	)
 	flag.Parse()
 
@@ -89,6 +91,7 @@ func main() {
 		imageCache: *imageCache, ckptInterval: *ckptEvery,
 		budget: *budget, artifacts: *artifacts,
 		journal: *journalDir, resume: *resume,
+		verdictCache: *vcFile,
 	}); err != nil {
 		fatal(err)
 	}
@@ -170,6 +173,18 @@ func main() {
 		}
 	}
 
+	// Persistent cross-run verdict cache: load before the analysis (a
+	// missing file is a cold start; a corrupt or foreign one is fatal —
+	// silently ignoring it would hide the warm start the user asked for)
+	// and save the campaign's final verdicts after it.
+	var warmVerdicts []campaign.CacheEntry
+	if *vcFile != "" {
+		warmVerdicts, err = campaign.LoadVerdictCache(*vcFile, meta)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	// Graceful interruption: the first SIGINT/SIGTERM drains in-flight
 	// replays, flushes the journal and prints a partial report with
 	// resume instructions; a second signal aborts hard.
@@ -196,6 +211,9 @@ func main() {
 		RecoveryTimeout:    *recTimeout,
 		ImageCacheSize:     cacheSize,
 		CheckpointInterval: ckptInterval,
+		Classing:           *classing,
+		WarmVerdicts:       warmVerdicts,
+		PersistVerdicts:    *vcFile != "",
 		Interrupt:          interrupt,
 		Journal:            journal,
 		Resume:             resumeState,
@@ -210,6 +228,14 @@ func main() {
 	}
 	if res.JournalError != "" {
 		fmt.Fprintln(os.Stderr, "mumak: journal degraded to unjournaled:", res.JournalError)
+	}
+	if *vcFile != "" {
+		// A failed save only loses next run's warmth, never this run's
+		// report; a partial (interrupted) campaign's verdicts are still
+		// valid — they are keyed by image content.
+		if err := campaign.SaveVerdictCache(*vcFile, meta, res.VerdictCache); err != nil {
+			fmt.Fprintln(os.Stderr, "mumak: verdict cache not saved:", err)
+		}
 	}
 	if *artifacts != "" {
 		if err := saveArtifacts(*artifacts, res); err != nil {
@@ -259,6 +285,14 @@ func main() {
 		fmt.Printf("image cache: %d hit(s), %d miss(es) (%.1f%% hit rate, %d image(s) cached)\n",
 			res.ImageCacheHits, res.ImageCacheMisses,
 			100*float64(res.ImageCacheHits)/float64(lookups), res.ImageCacheEntries)
+	}
+	if res.EquivClasses > 0 {
+		fmt.Printf("classing: %d equivalence class(es) over %d failure point(s), %d inherited verdict(s), %d replay(s) avoided\n",
+			res.EquivClasses, res.Tree.Len(), res.InheritedVerdicts, res.ReplaysAvoided)
+	}
+	if lookups := res.PersistentCacheHits + res.PersistentCacheMisses; lookups > 0 {
+		fmt.Printf("verdict cache file: %d persistent hit(s), %d miss(es)\n",
+			res.PersistentCacheHits, res.PersistentCacheMisses)
 	}
 	if res.Checkpoints > 0 || res.CheckpointRestores > 0 {
 		fmt.Printf("checkpoints: %d snapshot(s), ~%d KiB resident, %d replay(s) served by restore\n",

@@ -24,6 +24,7 @@ type flagValues struct {
 	artifacts    string
 	journal      string
 	resume       bool
+	verdictCache string
 }
 
 // validateFlags rejects flag combinations that cannot produce a useful
@@ -44,6 +45,8 @@ func validateFlags(v flagValues) error {
 		return fmt.Errorf("-budget %s: the analysis budget cannot be negative", v.budget)
 	case v.resume && v.journal == "":
 		return fmt.Errorf("-resume needs -journal DIR: there is no journal to resume from")
+	case v.verdictCache != "" && v.imageCache == 0:
+		return fmt.Errorf("-verdict-cache-file needs the image cache: verdicts persist through it (-image-cache 0 disables it)")
 	}
 	if v.artifacts != "" {
 		if err := probeWritableDir(v.artifacts); err != nil {

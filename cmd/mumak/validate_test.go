@@ -41,6 +41,10 @@ func TestValidateFlagsRejections(t *testing.T) {
 		{"checkpoint-interval", func(v *flagValues) { v.ckptInterval = -9 }, "-checkpoint-interval"},
 		{"budget", func(v *flagValues) { v.budget = -time.Second }, "-budget"},
 		{"resume-without-journal", func(v *flagValues) { v.resume = true }, "-journal"},
+		{"verdict-cache-without-image-cache", func(v *flagValues) {
+			v.verdictCache = "verdicts.bin"
+			v.imageCache = 0
+		}, "-verdict-cache-file"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			v := validValues()

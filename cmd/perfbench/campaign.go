@@ -1,0 +1,225 @@
+// The -campaign mode benchmarks phase-1 crash-image equivalence
+// classing and the persistent cross-run verdict cache on one target.
+// Three campaigns run over the identical workload: unclassed and cold
+// (the pre-classing scheduler), classed and cold (first run of this
+// PR's scheduler), and classed and warm (a re-run seeded from the
+// verdict-cache file the cold run saved — the incremental re-run the
+// ROADMAP asks for). All three reports must render byte-identical;
+// the savings are emitted as text and as a machine-readable JSON file
+// CI archives.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"mumak/internal/apps"
+	"mumak/internal/campaign"
+	"mumak/internal/core"
+	"mumak/internal/report"
+	"mumak/internal/workload"
+)
+
+// campaignSide is one campaign's cost sheet. RecoveryExecutions counts
+// recovery-oracle runs that actually executed (image-cache misses);
+// Replays counts injections that paid a checkpoint restore plus gap
+// replay instead of inheriting or eliding.
+type campaignSide struct {
+	WallMS             int64  `json:"wall_ms"`
+	InjectMS           int64  `json:"inject_ms"`
+	Injections         int    `json:"injections"`
+	Recoveries         int    `json:"recoveries"`
+	RecoveryExecutions int    `json:"recovery_executions"`
+	Replays            int    `json:"replays"`
+	EngineEvents       uint64 `json:"engine_events"`
+	ImageCacheHits     int    `json:"image_cache_hits"`
+	ImageCacheMisses   int    `json:"image_cache_misses"`
+	Findings           int    `json:"findings"`
+}
+
+// classedSide extends the cost sheet with the classing counters.
+type classedSide struct {
+	campaignSide
+	EquivClasses          int `json:"equiv_classes"`
+	InheritedVerdicts     int `json:"inherited_verdicts"`
+	ReplaysAvoided        int `json:"replays_avoided"`
+	PersistentCacheHits   int `json:"persistent_cache_hits"`
+	PersistentCacheMisses int `json:"persistent_cache_misses"`
+}
+
+// campaignBench is the BENCH_campaign.json payload.
+type campaignBench struct {
+	Target           string       `json:"target"`
+	Ops              int          `json:"ops"`
+	Seed             int64        `json:"seed"`
+	Baseline         campaignSide `json:"baseline"`
+	Classed          classedSide  `json:"classed"`
+	Warm             classedSide  `json:"warm"`
+	ReportsIdentical bool         `json:"reports_identical"`
+	// Cold ratios compare the first classed run against the baseline;
+	// warm ratios compare the seeded re-run against it. Denominators of
+	// zero (a fully warm re-run) are clamped to one, so the ratio is a
+	// floor, not an overflow.
+	ColdReplayRatio   float64 `json:"cold_replay_ratio"`
+	ColdEventRatio    float64 `json:"cold_event_ratio"`
+	WarmRecoveryRatio float64 `json:"warm_recovery_ratio"`
+	WarmReplayRatio   float64 `json:"warm_replay_ratio"`
+	WarmEventRatio    float64 `json:"warm_event_ratio"`
+}
+
+// renderedReport captures everything a report consumer can observe, so
+// the identity check covers text and JSON emission alike.
+func renderedReport(rep *report.Report) (string, error) {
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf, true); err != nil {
+		return "", err
+	}
+	return rep.Format(true) + buf.String(), nil
+}
+
+func side(res *core.Result) campaignSide {
+	return campaignSide{
+		WallMS:             res.Elapsed.Milliseconds(),
+		InjectMS:           res.InjectTime.Milliseconds(),
+		Injections:         res.Injections,
+		Recoveries:         res.Recoveries,
+		RecoveryExecutions: res.ImageCacheMisses,
+		Replays:            res.Injections - res.ReplaysAvoided,
+		EngineEvents:       res.EngineEvents,
+		ImageCacheHits:     res.ImageCacheHits,
+		ImageCacheMisses:   res.ImageCacheMisses,
+		Findings:           len(res.Report.Bugs()),
+	}
+}
+
+func classed(res *core.Result) classedSide {
+	return classedSide{
+		campaignSide:          side(res),
+		EquivClasses:          res.EquivClasses,
+		InheritedVerdicts:     res.InheritedVerdicts,
+		ReplaysAvoided:        res.ReplaysAvoided,
+		PersistentCacheHits:   res.PersistentCacheHits,
+		PersistentCacheMisses: res.PersistentCacheMisses,
+	}
+}
+
+func ratio(base, opt float64) float64 {
+	if opt < 1 {
+		opt = 1
+	}
+	return base / opt
+}
+
+// runCampaignBench runs the classing differential benchmark and writes
+// jsonPath. It returns an error instead of exiting so main owns the
+// process status.
+func runCampaignBench(target string, ops int, seed int64, budget time.Duration, jsonPath string) error {
+	w := workload.Generate(workload.Config{N: ops, Seed: seed})
+	run := func(classing bool, warm []campaign.CacheEntry, persist bool) (*core.Result, error) {
+		app, err := apps.New(target, apps.Config{PoolSize: 64 << 20, WithRecovery: true})
+		if err != nil {
+			return nil, err
+		}
+		// Mirror the mumak CLI defaults so the numbers describe the real
+		// campaign: the zero-value Config already enables the image cache
+		// and checkpoints, so only the worker pool needs spelling out.
+		return core.Analyze(app, w, core.Config{
+			Budget:          budget,
+			Workers:         runtime.GOMAXPROCS(0),
+			Classing:        classing,
+			WarmVerdicts:    warm,
+			PersistVerdicts: persist,
+		})
+	}
+
+	base, err := run(false, nil, false)
+	if err != nil {
+		return err
+	}
+	cold, err := run(true, nil, true)
+	if err != nil {
+		return err
+	}
+
+	// Round-trip the verdicts through the real cache file, exactly as a
+	// -verdict-cache-file re-run would, so the benchmark also covers the
+	// persistence layer.
+	dir, err := os.MkdirTemp("", "mumak-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	vcFile := filepath.Join(dir, "verdicts.bin")
+	meta := campaign.Meta{Target: target, Ops: ops, Seed: seed}
+	if err := campaign.SaveVerdictCache(vcFile, meta, cold.VerdictCache); err != nil {
+		return err
+	}
+	verdicts, err := campaign.LoadVerdictCache(vcFile, meta)
+	if err != nil {
+		return err
+	}
+	warm, err := run(true, verdicts, false)
+	if err != nil {
+		return err
+	}
+
+	wantRep, err := renderedReport(base.Report)
+	if err != nil {
+		return err
+	}
+	identical := true
+	for _, res := range []*core.Result{cold, warm} {
+		got, err := renderedReport(res.Report)
+		if err != nil {
+			return err
+		}
+		identical = identical && got == wantRep
+	}
+
+	b := campaignBench{Target: target, Ops: ops, Seed: seed}
+	b.Baseline = side(base)
+	b.Classed = classed(cold)
+	b.Warm = classed(warm)
+	b.ReportsIdentical = identical
+	b.ColdReplayRatio = ratio(float64(b.Baseline.Replays), float64(b.Classed.Replays))
+	b.ColdEventRatio = ratio(float64(b.Baseline.EngineEvents), float64(b.Classed.EngineEvents))
+	b.WarmRecoveryRatio = ratio(float64(b.Baseline.RecoveryExecutions), float64(b.Warm.RecoveryExecutions))
+	b.WarmReplayRatio = ratio(float64(b.Baseline.Replays), float64(b.Warm.Replays))
+	b.WarmEventRatio = ratio(float64(b.Baseline.EngineEvents), float64(b.Warm.EngineEvents))
+
+	enc, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	row := func(name string, f func(campaignSide) any) {
+		fmt.Printf("%-22s %14v %14v %14v\n", name, f(b.Baseline), f(b.Classed.campaignSide), f(b.Warm.campaignSide))
+	}
+	fmt.Printf("# Crash-image equivalence classing, %s ops=%d seed=%d\n\n", target, ops, seed)
+	fmt.Printf("%-22s %14s %14s %14s\n", "", "unclassed", "classed cold", "classed warm")
+	row("injections", func(s campaignSide) any { return s.Injections })
+	row("replays", func(s campaignSide) any { return s.Replays })
+	row("recovery executions", func(s campaignSide) any { return s.RecoveryExecutions })
+	row("engine events", func(s campaignSide) any { return s.EngineEvents })
+	row("findings", func(s campaignSide) any { return s.Findings })
+	row("inject wall (ms)", func(s campaignSide) any { return s.InjectMS })
+	fmt.Printf("\nequivalence classes: %d over %d failure points (cold: %d inherited, %d replays avoided; warm: %d persistent hits)\n",
+		b.Classed.EquivClasses, b.Classed.Injections, b.Classed.InheritedVerdicts, b.Classed.ReplaysAvoided, b.Warm.PersistentCacheHits)
+	fmt.Printf("cold run:  %.2fx fewer replays, %.2fx fewer engine events\n", b.ColdReplayRatio, b.ColdEventRatio)
+	fmt.Printf("warm re-run: %.1fx fewer recovery executions, %.1fx fewer replays, %.2fx fewer engine events\n",
+		b.WarmRecoveryRatio, b.WarmReplayRatio, b.WarmEventRatio)
+	fmt.Printf("reports identical: %v\nwrote %s\n", identical, jsonPath)
+
+	if !identical {
+		return fmt.Errorf("classed/warm reports are NOT byte-identical to the unclassed one")
+	}
+	return nil
+}

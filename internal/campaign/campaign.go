@@ -103,6 +103,15 @@ type Record struct {
 	// CacheHit/CacheMiss record the verdict-cache consultation.
 	CacheHit  bool
 	CacheMiss bool
+	// Inherited marks a failure point that never replayed: it inherited
+	// the memoised verdict of its crash-image equivalence class's
+	// representative (phase-1 classing). ReplayElided marks a class
+	// representative whose replay was skipped because its stamped image
+	// key was already in the verdict cache; PersistentHit narrows that
+	// to keys seeded from a cross-run verdict-cache file.
+	Inherited     bool
+	ReplayElided  bool
+	PersistentHit bool
 	// SkipReason is non-empty when the leaf was consumed without an
 	// injection and quarantined after bounded retries.
 	SkipReason string

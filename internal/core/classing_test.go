@@ -1,0 +1,268 @@
+package core_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"mumak/internal/apps/apptest/imagedup"
+	"mumak/internal/apps/btree"
+	"mumak/internal/campaign"
+	"mumak/internal/core"
+	"mumak/internal/harness"
+	"mumak/internal/workload"
+)
+
+// classingCases trims the cache fixtures for the stack-mode half of the
+// classing matrix: stack mode re-executes the whole workload per live
+// replay, so the slowest fixture is dropped there to keep the suite
+// bounded. Counter mode runs the full set.
+func classingCases(stackMode bool) []struct {
+	name string
+	mk   func() harness.Application
+	w    workload.Workload
+} {
+	cases := cacheCases()
+	if !stackMode {
+		return cases
+	}
+	trimmed := cases[:0]
+	for _, tc := range cases {
+		if tc.name != "levelhash-bug" {
+			trimmed = append(trimmed, tc)
+		}
+	}
+	return trimmed
+}
+
+// TestClassingDifferential is the classing correctness contract: for
+// every fixture, mode and worker count, a classed campaign's report —
+// text and JSON — is byte-identical to the unclassed reference, the
+// injection coverage is unchanged, and the recovery runs collapse to
+// one per crash-image equivalence class (members inherit, they are
+// never re-judged).
+func TestClassingDifferential(t *testing.T) {
+	for _, stackMode := range []bool{false, true} {
+		mode := "counter"
+		if stackMode {
+			mode = "stack"
+		}
+		for _, tc := range classingCases(stackMode) {
+			tc, stackMode := tc, stackMode
+			t.Run(fmt.Sprintf("%s/%s", tc.name, mode), func(t *testing.T) {
+				t.Parallel()
+				base := core.Config{KeepWarnings: true, StackMode: stackMode}
+				ref, err := core.Analyze(tc.mk(), tc.w, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.EquivClasses != 0 || ref.InheritedVerdicts != 0 || ref.ReplaysAvoided != 0 {
+					t.Fatalf("unclassed run reported classing activity: %+v", ref)
+				}
+				want := renderReport(t, ref.Report)
+				for _, workers := range []int{1, 4} {
+					cfg := base
+					cfg.Classing = true
+					cfg.Workers = workers
+					res, err := core.Analyze(tc.mk(), tc.w, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("workers=%d", workers)
+					if got := renderReport(t, res.Report); got != want {
+						t.Errorf("%s: classed report differs from unclassed reference\n--- unclassed ---\n%s\n--- classed ---\n%s",
+							label, want, got)
+					}
+					if res.Injections != ref.Injections || res.SkippedFailurePoints != ref.SkippedFailurePoints ||
+						res.QuarantinedFailurePoints != ref.QuarantinedFailurePoints {
+						t.Errorf("%s: coverage diverges: injections %d/%d skipped %d/%d quarantined %d/%d",
+							label, res.Injections, ref.Injections,
+							res.SkippedFailurePoints, ref.SkippedFailurePoints,
+							res.QuarantinedFailurePoints, ref.QuarantinedFailurePoints)
+					}
+					if res.EquivClasses == 0 {
+						t.Errorf("%s: classing enabled but no classes were built", label)
+					}
+					// Every inherited member would have recovered (via the
+					// image cache) in the unclassed run; nothing else changes.
+					if res.Recoveries+res.InheritedVerdicts != ref.Recoveries {
+						t.Errorf("%s: recoveries %d + inherited %d != reference recoveries %d",
+							label, res.Recoveries, res.InheritedVerdicts, ref.Recoveries)
+					}
+					if res.SkippedFailurePoints == 0 && res.TargetPanics == 0 &&
+						res.Recoveries != res.EquivClasses {
+						t.Errorf("%s: %d recoveries for %d classes; want exactly one per class",
+							label, res.Recoveries, res.EquivClasses)
+					}
+					if res.ReplaysAvoided < res.InheritedVerdicts {
+						t.Errorf("%s: replays avoided %d < inherited %d", label,
+							res.ReplaysAvoided, res.InheritedVerdicts)
+					}
+					if res.EngineEvents > ref.EngineEvents {
+						t.Errorf("%s: classed campaign replayed more events (%d) than the reference (%d)",
+							label, res.EngineEvents, ref.EngineEvents)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestClassingDedupsScanPhase pins the perf win on the fixture built
+// for duplication: imagedup's scan leaves share one crash image, so the
+// classed campaign must inherit (not just cache-hit) all of them.
+func TestClassingDedupsScanPhase(t *testing.T) {
+	mkDup := func(name string) harness.Application {
+		app, ok := imagedup.New(name)
+		if !ok {
+			t.Fatalf("unknown imagedup fixture %s", name)
+		}
+		return app
+	}
+	res, err := core.Analyze(mkDup("imagedup"), smallWorkload(3),
+		core.Config{DisableTraceAnalysis: true, Classing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InheritedVerdicts == 0 {
+		t.Fatal("high-duplication fixture inherited no verdicts")
+	}
+	if res.EquivClasses >= res.Injections {
+		t.Fatalf("classing was vacuous: %d classes for %d injections",
+			res.EquivClasses, res.Injections)
+	}
+	ref, err := core.Analyze(mkDup("imagedup"), smallWorkload(3),
+		core.Config{DisableTraceAnalysis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineEvents >= ref.EngineEvents {
+		t.Errorf("classing did not reduce replayed engine events: %d vs %d",
+			res.EngineEvents, ref.EngineEvents)
+	}
+}
+
+// TestClassingEADRDifferential repeats the differential check under the
+// extended persistence domain, whose instrumented run takes the eADR
+// snapshot paths (and therefore the eADR rolling-hash paths).
+func TestClassingEADRDifferential(t *testing.T) {
+	mk := func() harness.Application { return btree.New(cfgSPT(btree.BugCountOutsideTx)) }
+	w := smallWorkload(7)
+	ref, err := core.Analyze(mk(), w, core.Config{KeepWarnings: true, EADR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classed, err := core.Analyze(mk(), w, core.Config{KeepWarnings: true, EADR: true, Classing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderReport(t, classed.Report), renderReport(t, ref.Report); got != want {
+		t.Errorf("eADR classed report differs from unclassed\n--- unclassed ---\n%s\n--- classed ---\n%s", want, got)
+	}
+	if classed.Recoveries+classed.InheritedVerdicts != ref.Recoveries {
+		t.Errorf("eADR recoveries %d + inherited %d != reference %d",
+			classed.Recoveries, classed.InheritedVerdicts, ref.Recoveries)
+	}
+}
+
+// TestPersistentVerdictCacheWarmMatchesCold is the cross-run contract:
+// a campaign warmed from a previous identical campaign's persisted
+// verdicts — round-tripped through the actual cache file — produces a
+// byte-identical report while running zero recoveries for images the
+// file had already judged.
+func TestPersistentVerdictCacheWarmMatchesCold(t *testing.T) {
+	mk := func() harness.Application { return btree.New(cfgSPT(btree.BugCountOutsideTx)) }
+	w := smallWorkload(21)
+	cold, err := core.Analyze(mk(), w, core.Config{Classing: true, PersistVerdicts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.VerdictCache) == 0 {
+		t.Fatal("PersistVerdicts exported no entries")
+	}
+	if cold.PersistentCacheHits != 0 {
+		t.Fatalf("cold run claims %d persistent hits", cold.PersistentCacheHits)
+	}
+	want := renderReport(t, cold.Report)
+
+	meta := campaign.Meta{Target: "fixture", Ops: 21, Seed: 21}
+	path := filepath.Join(t.TempDir(), "verdicts.bin")
+	if err := campaign.SaveVerdictCache(path, meta, cold.VerdictCache); err != nil {
+		t.Fatal(err)
+	}
+	warmEntries, err := campaign.LoadVerdictCache(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, classing := range []bool{true, false} {
+		warm, err := core.Analyze(mk(), w, core.Config{
+			Classing: classing, WarmVerdicts: warmEntries, PersistVerdicts: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("classing=%v", classing)
+		if got := renderReport(t, warm.Report); got != want {
+			t.Errorf("%s: warm report differs from cold\n--- cold ---\n%s\n--- warm ---\n%s", label, want, got)
+		}
+		if warm.PersistentCacheHits == 0 {
+			t.Errorf("%s: warm run hit the persistent cache zero times", label)
+		}
+		if warm.PersistentCacheMisses != 0 {
+			t.Errorf("%s: warm run missed %d images the cold run should have judged",
+				label, warm.PersistentCacheMisses)
+		}
+		if classing && warm.ReplaysAvoided <= cold.ReplaysAvoided {
+			t.Errorf("warm classed run avoided %d replays, cold avoided %d; warming must elide the representatives too",
+				warm.ReplaysAvoided, cold.ReplaysAvoided)
+		}
+	}
+}
+
+// TestClassingResumeByteIdentical crosses classing with crash-safe
+// resume: a classed journaled campaign killed mid-run must resume to
+// the uninterrupted classed report, with inherited verdicts flowing
+// across the resume boundary (class templates are re-captured from the
+// folded journal records).
+func TestClassingResumeByteIdentical(t *testing.T) {
+	mk := func() harness.Application { return btree.New(cfgSPT(btree.BugCountOutsideTx)) }
+	w := smallWorkload(21)
+	cfg := journaledConfig(false, 1)
+	cfg.Classing = true
+	ref, err := core.Analyze(mk(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := t.TempDir()
+	analyzeJournaled(t, mk, w, cfg, full)
+	logLen := fileSize(t, filepath.Join(full, campaign.JournalFile))
+	for _, cut := range []int64{1, logLen / 3, logLen / 2, logLen - 3} {
+		dir := copyTruncated(t, full, cut, cut%2 == 0)
+		res := analyzeResumed(t, mk, w, cfg, dir)
+		label := fmt.Sprintf("cut=%d", cut)
+		// EngineEvents are deliberately not compared: a resumed classed
+		// campaign may elide representatives through snapshot-seeded
+		// cache entries, which skips their gap replays without changing
+		// a single verdict.
+		if got, want := renderReport(t, res.Report), renderReport(t, ref.Report); got != want {
+			t.Errorf("%s: resumed classed report differs\n--- reference ---\n%s\n--- resumed ---\n%s",
+				label, want, got)
+		}
+		if res.Injections != ref.Injections || res.SkippedFailurePoints != ref.SkippedFailurePoints ||
+			res.QuarantinedFailurePoints != ref.QuarantinedFailurePoints {
+			t.Errorf("%s: coverage diverges: injections %d/%d skipped %d/%d quarantined %d/%d",
+				label, res.Injections, ref.Injections, res.SkippedFailurePoints, ref.SkippedFailurePoints,
+				res.QuarantinedFailurePoints, ref.QuarantinedFailurePoints)
+		}
+	}
+	// A classed journal folds into an unclassed resume (and vice versa):
+	// the records carry complete outcomes, so classing is not part of
+	// the campaign identity.
+	dir := copyTruncated(t, full, logLen/2, true)
+	plain := journaledConfig(false, 1)
+	res := analyzeResumed(t, mk, w, plain, dir)
+	if got, want := res.Report.Format(true), ref.Report.Format(true); got != want {
+		t.Errorf("unclassed resume of a classed journal diverges\n--- reference ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}

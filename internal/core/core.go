@@ -109,6 +109,28 @@ type Config struct {
 	// disables caching. Reports are identical either way — only the
 	// redundant recovery runs are skipped.
 	ImageCacheSize int
+	// Classing enables phase-1 crash-image equivalence classing: the
+	// instrumented run stamps every failure point with the content hash
+	// of its prospective graceful-crash image (a rolling hash maintained
+	// alongside execution, O(changed bytes)), the campaign groups leaves
+	// whose stamps match, replays exactly one representative per class,
+	// and the remaining members inherit the memoised verdict without
+	// replaying at all. Reports are byte-identical to an unclassed
+	// campaign (serial and parallel, counter and stack mode) — only the
+	// redundant replays and recoveries are skipped. The zero value is
+	// off so ablation and differential comparisons start unclassed; the
+	// CLI enables it by default.
+	Classing bool
+	// WarmVerdicts seeds the campaign's verdict cache from a persistent
+	// cross-run cache file (campaign.LoadVerdictCache) before any replay
+	// runs, so re-runs of an identical campaign only replay classes
+	// whose image hash was never judged. Ignored when the image cache is
+	// disabled.
+	WarmVerdicts []campaign.CacheEntry
+	// PersistVerdicts exports the campaign's final verdict-cache
+	// contents into Result.VerdictCache so the caller can persist them
+	// (campaign.SaveVerdictCache) for the next run.
+	PersistVerdicts bool
 	// Interrupt, when non-nil, requests graceful interruption once
 	// closed: campaign workers stop claiming failure points, in-flight
 	// replays drain (and are consumed and journaled), and the analysis
@@ -251,6 +273,30 @@ type Result struct {
 	// in the verdict cache when the campaign ended (bounded by
 	// ImageCacheSize).
 	ImageCacheEntries int
+	// EquivClasses is the number of distinct crash-image equivalence
+	// classes the phase-1 stamps partitioned the failure points into
+	// (zero when classing was off or the tree was unstamped).
+	// InheritedVerdicts counts class members that never replayed —
+	// they inherited their representative's verdict — and
+	// ReplaysAvoided counts every elided replay (inherited members plus
+	// representatives whose stamped key was already in the verdict
+	// cache). These counters are deliberately kept out of the JSON
+	// report so classed and unclassed reports stay byte-identical.
+	EquivClasses      int
+	InheritedVerdicts int
+	ReplaysAvoided    int
+	// PersistentCacheHits and PersistentCacheMisses count verdict-cache
+	// consultations against entries seeded from a cross-run verdict
+	// cache file: a hit delivered a previous run's verdict, a miss ran
+	// the oracle for an image the file had never seen. Both stay zero
+	// without Config.WarmVerdicts/PersistVerdicts.
+	PersistentCacheHits   int
+	PersistentCacheMisses int
+	// VerdictCache is the campaign's final exported verdict-cache
+	// contents (least recently used first), filled only when
+	// Config.PersistVerdicts asked for it; pass it to
+	// campaign.SaveVerdictCache to warm the next run.
+	VerdictCache []campaign.CacheEntry
 	// Checkpoints is the number of full-state checkpoints the
 	// instrumented run recorded; CheckpointBytes approximates their
 	// resident size (mutation log plus snapshots, shared COW bases
@@ -352,6 +398,13 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 	if !cfg.DisableFaultInjection && !cfg.StackMode {
 		opts.CheckpointEvery = cfg.checkpointEvery()
 	}
+	// Classing needs phase 1 to stamp every failure point with its
+	// prospective crash-image hash, in both injection modes: the rolling
+	// hash read at leaf-creation time equals the content hash of the
+	// image a replay crashed at that leaf would materialise.
+	if !cfg.DisableFaultInjection && cfg.Classing {
+		opts.TrackPrefixHash = true
+	}
 	eng, sout := execute(app, w, opts, sb, hooks...)
 	res.EngineEvents += eng.Events()
 	switch {
@@ -436,6 +489,8 @@ func Analyze(app harness.Application, w workload.Workload, cfg Config) (*Result,
 
 	metrics.RecordSandbox(res.TargetPanics, res.TargetHangs, res.RecoveryHangs)
 	metrics.RecordImageCache(res.ImageCacheHits, res.ImageCacheMisses)
+	metrics.RecordClassing(res.EquivClasses, res.InheritedVerdicts, res.ReplaysAvoided,
+		res.PersistentCacheHits, res.PersistentCacheMisses)
 	metrics.RecordCheckpoints(res.Checkpoints, res.CheckpointBytes, res.CheckpointRestores)
 	metrics.RecordJournal(res.JournalAppends, res.JournalSnapshots, res.ResumedFailurePoints)
 	res.Elapsed = time.Since(start)

@@ -227,9 +227,18 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 	// identity alone. The cache is shared across parallel workers in
 	// both modes.
 	cache := newImageCache(cfg.imageCacheCapacity())
+	if cache != nil && len(cfg.WarmVerdicts) > 0 {
+		// Warm the cache from the cross-run verdict-cache file before
+		// anything consults it; the entries are marked so hits on them
+		// are attributed to the persistent cache.
+		cache.seedPersistent(cfg.WarmVerdicts)
+	}
 	defer func() {
 		if cache != nil {
 			res.ImageCacheEntries = cache.Len()
+			if cfg.PersistVerdicts {
+				res.VerdictCache = cache.export()
+			}
 		}
 	}()
 
@@ -241,6 +250,19 @@ func injectAll(app harness.Application, w workload.Workload, tree *fpt.Tree,
 		mode: mode, cfg: cfg, rep: rep, res: res,
 		tree: tree, cs: cs, cache: cache,
 		journal: cfg.Journal, snapEvery: cfg.snapshotEvery(),
+	}
+	m.replayer = func(leaf *fpt.Leaf) replayOutcome {
+		return replayLeafWithRetry(app, w, leaf, tree.Stacks(), mode, sb, cache, ckpts)
+	}
+	m.persistent = len(cfg.WarmVerdicts) > 0 || cfg.PersistVerdicts
+	if cfg.Classing {
+		// The plan is built from the frozen tree's phase-1 stamps and is
+		// nil — classing silently off — when any leaf is unstamped (e.g.
+		// a tree artifact recorded before stamping existed).
+		if m.plan = buildClassPlan(tree); m.plan != nil {
+			m.classes = make(map[imageKey]*classVerdict, m.plan.classes)
+			res.EquivClasses = m.plan.classes
+		}
 	}
 	start := time.Now()
 	defer func() {
@@ -332,8 +354,23 @@ type replayOutcome struct {
 	// Both are false when caching is disabled.
 	cacheHit  bool
 	cacheMiss bool
-	// imageHash is the crash image's content hash when caching computed
-	// one (diagnostic; journaled for cross-shard dedup).
+	// inherited marks a class member that never replayed: it inherited
+	// its crash-image equivalence class's verdict (classing.go).
+	// replayElided marks a class representative whose replay was skipped
+	// because its stamped image key was already in the verdict cache;
+	// persistentHit narrows a cache hit to entries seeded from a
+	// cross-run verdict-cache file.
+	inherited     bool
+	replayElided  bool
+	persistentHit bool
+	// pendingInherit is the parallel workers' placeholder for a class
+	// member: the merge loop resolves it (mergeState.dispatch) once the
+	// member's representative has been merged. Never consumed or
+	// journaled.
+	pendingInherit bool
+	// imageHash is the crash image's content hash when one was produced
+	// (diagnostic; journaled for cross-shard dedup and for warming the
+	// persistent verdict cache).
 	imageHash uint64
 	// finding is the resulting finding, if any: a crash-consistency
 	// bug, a target crash, or a recovery hang.
@@ -488,35 +525,21 @@ func replayCheckpointed(app harness.Application, leaf *fpt.Leaf,
 func finishInjected(app harness.Application, eng *pmem.Engine, leaf *fpt.Leaf,
 	icount uint64, sb sandboxCfg, cache *imageCache, out *replayOutcome) {
 
-	check, ddl, hit := cachedCheck(app, eng, sb, cache)
+	check, ddl, hit, seeded := cachedCheck(app, eng, sb, cache)
 	if ddl {
 		out.deadlineHit = true
 		return
 	}
 	out.recovered = true
-	if cache != nil {
-		out.cacheHit = hit
-		out.cacheMiss = !hit
-		out.imageHash = eng.PrefixImageHash()
-	}
-	if !check.Consistent() {
-		kind := report.CrashConsistency
-		if check.Verdict == oracle.Hung {
-			kind = report.RecoveryHang
-			out.recoveryHung = true
-		}
-		detail := check.Describe()
-		if check.Verdict == oracle.Crashed && check.PanicTrace != "" {
-			// Provide the recovery call trace for abrupt failures.
-			detail += "\nrecovery trace:\n" + truncate(check.PanicTrace, 800)
-		}
-		out.finding = &report.Finding{
-			Kind:   kind,
-			ICount: icount,
-			Stack:  leaf.Stack,
-			Detail: detail,
-		}
-	}
+	out.cacheHit = hit
+	out.cacheMiss = cache != nil && !hit
+	out.persistentHit = seeded
+	// Record the hash whether or not the in-memory cache is enabled: the
+	// journaled hash also feeds cross-shard dedup and the persistent
+	// verdict cache, neither of which should depend on the local cache
+	// flag. The incremental hash is O(changed lines) — no image walk.
+	out.imageHash = eng.PrefixImageHash()
+	applyVerdict(check, icount, leaf.Stack, out)
 }
 
 // replayLeafWithRetry replays a leaf, retrying a bounded number of times
@@ -596,6 +619,16 @@ func consumeOutcome(leaf *fpt.Leaf, out replayOutcome, rep *report.Report, res *
 	if out.cacheMiss {
 		res.ImageCacheMisses++
 	}
+	if out.inherited {
+		res.InheritedVerdicts++
+		res.ReplaysAvoided++
+	}
+	if out.replayElided {
+		res.ReplaysAvoided++
+	}
+	if out.persistentHit {
+		res.PersistentCacheHits++
+	}
 	if out.recoveryHung {
 		res.RecoveryHangs++
 	}
@@ -634,6 +667,18 @@ type mergeState struct {
 	consumed  int
 	folding   bool
 
+	// plan groups leaves into crash-image equivalence classes (nil when
+	// classing is off or the tree is unstamped); classes accumulates the
+	// per-class verdict templates as representatives are merged, and is
+	// only ever touched by the merge goroutine. replayer runs one live
+	// replay (the campaign's replayLeafWithRetry closed over its shared
+	// state); persistent marks that a cross-run verdict-cache file is in
+	// play, so misses are worth counting against it.
+	plan       *classPlan
+	classes    map[imageKey]*classVerdict
+	replayer   func(*fpt.Leaf) replayOutcome
+	persistent bool
+
 	injected   int
 	noProgress int
 }
@@ -652,6 +697,19 @@ func (m *mergeState) capped() bool {
 // replays that cannot fire.
 func (m *mergeState) consume(leaf *fpt.Leaf, out replayOutcome) (abort bool) {
 	consumeOutcome(leaf, out, m.rep, m.res)
+	if m.persistent && out.cacheMiss {
+		m.res.PersistentCacheMisses++
+	}
+	if m.plan != nil && out.injected && out.recovered {
+		// Capture the class verdict template from the first judged
+		// outcome of each class — normally the representative, or a
+		// fallen-back member when the representative was quarantined.
+		// Folded journal records qualify too, so a resumed campaign
+		// inherits across the resume boundary.
+		if k := m.plan.key(leaf); m.classes[k] == nil {
+			m.classes[k] = &classVerdict{finding: out.finding, recoveryHung: out.recoveryHung}
+		}
+	}
 	m.consumed++
 	if !m.folding {
 		m.publish(leaf, out)
@@ -702,7 +760,7 @@ func injectSerial(app harness.Application, w workload.Workload, cs *fpt.ClaimSet
 			return false
 		}
 		t0 := time.Now()
-		out := replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache, ckpts)
+		out := m.dispatch(leaf)
 		res.WorkerBusy += time.Since(t0)
 		if out.deadlineHit {
 			// The mid-replay watchdog cut the replay short: the failure

@@ -56,6 +56,10 @@ type imageCache struct {
 type imageCacheEntry struct {
 	key imageKey
 	out oracle.Outcome
+	// seeded marks an entry warmed from a cross-run verdict-cache file
+	// (never one computed or snapshot-seeded this campaign), so hits on
+	// it can be attributed to the persistent cache.
+	seeded bool
 }
 
 // newImageCache returns a cache bounded to capacity entries, or nil
@@ -72,22 +76,28 @@ func newImageCache(capacity int) *imageCache {
 }
 
 // lookup returns the memoised verdict for the key, refreshing its
-// recency on a hit.
-func (c *imageCache) lookup(k imageKey) (oracle.Outcome, bool) {
+// recency on a hit. The second return reports whether the entry came
+// from a persistent cross-run cache file.
+func (c *imageCache) lookup(k imageKey) (oracle.Outcome, bool, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
-		return oracle.Outcome{}, false
+		return oracle.Outcome{}, false, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*imageCacheEntry).out, true
+	e := el.Value.(*imageCacheEntry)
+	return e.out, e.seeded, true
 }
 
 // store memoises a verdict, evicting the least recently used entry when
 // the cache is full. Callers must store detached outcomes only (no
 // retained recovery engine).
 func (c *imageCache) store(k imageKey, out oracle.Outcome) {
+	c.storeEntry(k, out, false)
+}
+
+func (c *imageCache) storeEntry(k imageKey, out oracle.Outcome, seeded bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
@@ -101,7 +111,7 @@ func (c *imageCache) store(k imageKey, out oracle.Outcome) {
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*imageCacheEntry).key)
 	}
-	c.entries[k] = c.order.PushFront(&imageCacheEntry{key: k, out: out})
+	c.entries[k] = c.order.PushFront(&imageCacheEntry{key: k, out: out, seeded: seeded})
 }
 
 // Len returns the number of cached verdicts.
@@ -137,6 +147,18 @@ func (c *imageCache) seed(entries []campaign.CacheEntry) {
 	}
 }
 
+// seedPersistent warms the cache from a cross-run verdict-cache file
+// (campaign.LoadVerdictCache), marking every entry so later hits are
+// attributed to the persistent cache. Identity was already pinned by
+// the file's Meta check, and verdicts are keyed by image content, so a
+// previous run's verdict is exactly this run's verdict.
+func (c *imageCache) seedPersistent(entries []campaign.CacheEntry) {
+	for _, e := range entries {
+		k, out := decodeCacheEntry(e)
+		c.storeEntry(k, out, true)
+	}
+}
+
 // imageCacheCapacity resolves the configured capacity: zero selects the
 // default, negative disables caching.
 func (cfg Config) imageCacheCapacity() int {
@@ -157,20 +179,22 @@ func (cfg Config) imageCacheCapacity() int {
 // watchdogs and the verdict is cached, unless the campaign deadline cut
 // the check short: a deadline-cut outcome reflects the remaining
 // budget, not the image, and must never be replayed from the cache.
+// persistent narrows a hit to entries seeded from a cross-run
+// verdict-cache file.
 func cachedCheck(app harness.Application, eng *pmem.Engine, sb sandboxCfg,
-	cache *imageCache) (out oracle.Outcome, deadlineHit, hit bool) {
+	cache *imageCache) (out oracle.Outcome, deadlineHit, hit, persistent bool) {
 
 	if cache == nil {
 		out, deadlineHit = boundedCheck(app, eng.PrefixImage(), sb)
-		return out, deadlineHit, false
+		return out, deadlineHit, false, false
 	}
 	key := imageKey{hash: eng.PrefixImageHash(), size: eng.Size()}
-	if out, ok := cache.lookup(key); ok {
-		return out, false, true
+	if out, seeded, ok := cache.lookup(key); ok {
+		return out, false, true, seeded
 	}
 	out, deadlineHit = boundedCheck(app, eng.PrefixImage(), sb)
 	if !deadlineHit {
 		cache.store(key, out.Detached())
 	}
-	return out, deadlineHit, false
+	return out, deadlineHit, false, false
 }

@@ -15,17 +15,17 @@ func TestImageCacheLRUEviction(t *testing.T) {
 	c.store(key(1), oracle.Outcome{Verdict: oracle.Consistent})
 	c.store(key(2), oracle.Outcome{Verdict: oracle.Unrecoverable})
 	// Refresh 1, insert 3: 2 is now the least recently used and must go.
-	if _, ok := c.lookup(key(1)); !ok {
+	if _, _, ok := c.lookup(key(1)); !ok {
 		t.Fatal("entry 1 missing before eviction")
 	}
 	c.store(key(3), oracle.Outcome{Verdict: oracle.Crashed})
-	if _, ok := c.lookup(key(2)); ok {
+	if _, _, ok := c.lookup(key(2)); ok {
 		t.Error("least recently used entry survived eviction")
 	}
-	if _, ok := c.lookup(key(1)); !ok {
+	if _, _, ok := c.lookup(key(1)); !ok {
 		t.Error("recently used entry was evicted")
 	}
-	if out, ok := c.lookup(key(3)); !ok || out.Verdict != oracle.Crashed {
+	if out, _, ok := c.lookup(key(3)); !ok || out.Verdict != oracle.Crashed {
 		t.Errorf("newest entry lookup = (%v, %v), want Crashed verdict", out.Verdict, ok)
 	}
 	if c.Len() != 2 {
@@ -38,7 +38,7 @@ func TestImageCacheFirstVerdictWins(t *testing.T) {
 	c.store(key(9), oracle.Outcome{Verdict: oracle.Unrecoverable})
 	// A racing worker storing the same key must not clobber the entry.
 	c.store(key(9), oracle.Outcome{Verdict: oracle.Consistent})
-	out, ok := c.lookup(key(9))
+	out, _, ok := c.lookup(key(9))
 	if !ok || out.Verdict != oracle.Unrecoverable {
 		t.Errorf("lookup = (%v, %v), want the first verdict", out.Verdict, ok)
 	}
@@ -50,10 +50,10 @@ func TestImageCacheFirstVerdictWins(t *testing.T) {
 func TestImageCacheKeyDiscriminates(t *testing.T) {
 	c := newImageCache(8)
 	c.store(imageKey{hash: 5, size: 100}, oracle.Outcome{Verdict: oracle.Crashed})
-	if _, ok := c.lookup(imageKey{hash: 5, size: 200}); ok {
+	if _, _, ok := c.lookup(imageKey{hash: 5, size: 200}); ok {
 		t.Error("same hash with different pool size hit")
 	}
-	if _, ok := c.lookup(imageKey{hash: 6, size: 100}); ok {
+	if _, _, ok := c.lookup(imageKey{hash: 6, size: 100}); ok {
 		t.Error("different hash hit")
 	}
 }
@@ -92,7 +92,7 @@ func TestImageCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				k := key(uint64(i % 40))
-				if out, ok := c.lookup(k); ok {
+				if out, _, ok := c.lookup(k); ok {
 					if out.Err == nil {
 						t.Errorf("goroutine %d: cached outcome lost its error", g)
 						return

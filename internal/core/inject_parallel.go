@@ -88,7 +88,9 @@ func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimS
 					return
 				}
 				t0 := time.Now()
-				outcomes[i] = replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache, ckpts)
+				outcomes[i] = replayClassed(m.plan, cache, leaf, func() replayOutcome {
+					return replayLeafWithRetry(app, w, leaf, stacks, mode, sb, cache, ckpts)
+				})
 				busy.Add(int64(time.Since(t0)))
 				close(done[i])
 			}
@@ -102,6 +104,19 @@ func injectParallel(app harness.Application, w workload.Workload, cs *fpt.ClaimS
 		}
 		<-done[i]
 		out := outcomes[i]
+		if out.pendingInherit {
+			// The worker saw a class member and deferred it here: by now
+			// every earlier leaf — the member's representative included —
+			// has been merged, so the member inherits its class verdict,
+			// or falls back to a live replay on this goroutine when the
+			// representative produced none (exactly the serial dispatch).
+			// A fallback that trips the mid-replay deadline watchdog is
+			// handled by the deadlineHit branch below, and the release
+			// sweep hands the member's claim back.
+			t0 := time.Now()
+			out = m.dispatch(pending[i])
+			res.WorkerBusy += time.Since(t0)
+		}
 		if !out.executed || out.deadlineHit {
 			// The worker stopped before replaying (deadline or
 			// interruption) or the mid-replay watchdog cut the replay

@@ -49,20 +49,23 @@ func (cfg Config) snapshotEvery() int {
 // durable journal record.
 func recordOutcome(leaf *fpt.Leaf, out replayOutcome) campaign.Record {
 	rec := campaign.Record{
-		LeafID:       leaf.ID,
-		LeafICount:   leaf.FirstICount,
-		Events:       out.events,
-		Retries:      out.retries,
-		Injected:     out.injected,
-		Restored:     out.restored,
-		Recovered:    out.recovered,
-		RecoveryHung: out.recoveryHung,
-		TargetPanic:  out.targetPanic,
-		TargetHang:   out.targetHang,
-		CacheHit:     out.cacheHit,
-		CacheMiss:    out.cacheMiss,
-		SkipReason:   out.skipReason,
-		ImageHash:    out.imageHash,
+		LeafID:        leaf.ID,
+		LeafICount:    leaf.FirstICount,
+		Events:        out.events,
+		Retries:       out.retries,
+		Injected:      out.injected,
+		Restored:      out.restored,
+		Recovered:     out.recovered,
+		RecoveryHung:  out.recoveryHung,
+		TargetPanic:   out.targetPanic,
+		TargetHang:    out.targetHang,
+		CacheHit:      out.cacheHit,
+		CacheMiss:     out.cacheMiss,
+		Inherited:     out.inherited,
+		ReplayElided:  out.replayElided,
+		PersistentHit: out.persistentHit,
+		SkipReason:    out.skipReason,
+		ImageHash:     out.imageHash,
 	}
 	if out.finding != nil {
 		rec.HasFinding = true
@@ -81,19 +84,22 @@ func recordOutcome(leaf *fpt.Leaf, out replayOutcome) campaign.Record {
 // the reconstruction renders byte-identically.
 func outcomeFromRecord(rec campaign.Record, leaf *fpt.Leaf) replayOutcome {
 	out := replayOutcome{
-		executed:     true,
-		events:       rec.Events,
-		retries:      rec.Retries,
-		injected:     rec.Injected,
-		restored:     rec.Restored,
-		recovered:    rec.Recovered,
-		recoveryHung: rec.RecoveryHung,
-		targetPanic:  rec.TargetPanic,
-		targetHang:   rec.TargetHang,
-		cacheHit:     rec.CacheHit,
-		cacheMiss:    rec.CacheMiss,
-		skipReason:   rec.SkipReason,
-		imageHash:    rec.ImageHash,
+		executed:      true,
+		events:        rec.Events,
+		retries:       rec.Retries,
+		injected:      rec.Injected,
+		restored:      rec.Restored,
+		recovered:     rec.Recovered,
+		recoveryHung:  rec.RecoveryHung,
+		targetPanic:   rec.TargetPanic,
+		targetHang:    rec.TargetHang,
+		cacheHit:      rec.CacheHit,
+		cacheMiss:     rec.CacheMiss,
+		inherited:     rec.Inherited,
+		replayElided:  rec.ReplayElided,
+		persistentHit: rec.PersistentHit,
+		skipReason:    rec.SkipReason,
+		imageHash:     rec.ImageHash,
 	}
 	if rec.HasFinding {
 		out.finding = &report.Finding{

@@ -83,7 +83,7 @@ func legacyStackSerial(t *testing.T, app harness.Application, w workload.Workloa
 			// No unvisited failure point was reached; done.
 			return
 		}
-		check, ddl, _ := cachedCheck(app, eng, sb, cache)
+		check, ddl, _, _ := cachedCheck(app, eng, sb, cache)
 		if ddl {
 			t.Fatal("legacy replay hit the deadline")
 		}

@@ -35,7 +35,16 @@ type Builder struct {
 	storeSinceLast bool
 	// NewLeaves counts leaves this builder added.
 	NewLeaves int
+	// eng is the engine this builder is attached to (AttachHook hands it
+	// over via pmem.EngineObserver). When the engine tracks the rolling
+	// prefix-image hash, every new leaf is stamped with its crash-image
+	// identity at insertion time.
+	eng *pmem.Engine
 }
+
+// ObserveEngine implements pmem.EngineObserver: it gives the builder
+// access to the rolling prefix-image hash for stamping leaves.
+func (b *Builder) ObserveEngine(e *pmem.Engine) { b.eng = e }
 
 // NewBuilder returns a builder inserting into tree.
 func NewBuilder(tree *Tree, g Granularity) *Builder {
@@ -70,8 +79,14 @@ func (b *Builder) insert(ev *pmem.Event) {
 	if ev.Stack == stack.NoID {
 		return
 	}
-	if _, added := b.Tree.Insert(ev.Stack, ev.ICount); added {
-		b.NewLeaves++
+	leaf, added := b.Tree.Insert(ev.Stack, ev.ICount)
+	if !added {
+		return
+	}
+	b.NewLeaves++
+	if b.eng != nil && b.eng.TracksPrefixHash() {
+		leaf.ImageHash = b.eng.RollingPrefixHash()
+		leaf.ImageSize = b.eng.Size()
 	}
 }
 

@@ -38,6 +38,19 @@ type Leaf struct {
 	// reproduces exactly this failure point (the instruction-counter
 	// optimisation of §5).
 	FirstICount uint64
+	// ImageHash and ImageSize stamp the leaf with its prospective
+	// crash-image identity: the engine's rolling prefix-image hash and
+	// pool size at the instant the builder first reached this failure
+	// point. The engine crashes a replay at FirstICount before that
+	// instruction's own mutation — the same pre-mutation point at which
+	// the builder hook observed the event — so crashing there
+	// materialises exactly this image, and leaves sharing a stamp form
+	// one crash-image equivalence class. ImageSize == 0 means unstamped
+	// (the builder's engine was not hash-tracked); a zero ImageHash is
+	// legitimate (a still-zeroed pool), so the size carries the validity
+	// bit.
+	ImageHash uint64
+	ImageSize int
 }
 
 type node struct {

@@ -28,11 +28,17 @@ const (
 	maxTreePayload = 1 << 31
 )
 
-// wireLeaf is the serialised form of one failure point.
+// wireLeaf is the serialised form of one failure point. ImageHash and
+// ImageSize carry the crash-image equivalence stamp; gob tolerates
+// their absence, so artifacts written before stamping existed decode
+// with ImageSize == 0, which readers treat as unstamped (the format
+// version is unchanged on purpose).
 type wireLeaf struct {
 	PCs         []uintptr
 	FirstICount uint64
 	Visited     bool
+	ImageHash   uint64
+	ImageSize   int
 }
 
 // wireTree is the serialised tree: the leaves with their full call
@@ -63,6 +69,8 @@ func (t *Tree) Encode(w io.Writer, claims *ClaimSet) error {
 			PCs:         cp,
 			FirstICount: l.FirstICount,
 			Visited:     claims != nil && claims.Claimed(l),
+			ImageHash:   l.ImageHash,
+			ImageSize:   l.ImageSize,
 		})
 	}
 	var payload bytes.Buffer
@@ -124,6 +132,8 @@ func ReadTree(r io.Reader, stacks *stack.Table) (*Tree, *ClaimSet, error) {
 		if !added {
 			return nil, nil, fmt.Errorf("fpt: duplicate failure point in serialised tree")
 		}
+		leaf.ImageHash = wl.ImageHash
+		leaf.ImageSize = wl.ImageSize
 		if wl.Visited {
 			visited = append(visited, leaf)
 		}

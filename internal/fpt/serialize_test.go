@@ -48,6 +48,39 @@ func TestSerializeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSerializePreservesImageStamps(t *testing.T) {
+	st := stack.NewTable()
+	tree := New(st)
+	a, _ := tree.Insert(st.Intern([]uintptr{10, 20, 30}), 5)
+	a.ImageHash = 0xdeadbeefcafe
+	a.ImageSize = 4096
+	// A zero ImageHash with a non-zero size is a legitimate stamp (a
+	// still-zeroed pool) and must survive the round trip as stamped.
+	b, _ := tree.Insert(st.Intern([]uintptr{11, 20, 30}), 9)
+	b.ImageHash = 0
+	b.ImageSize = 4096
+	tree.Freeze()
+
+	var buf bytes.Buffer
+	if err := tree.Encode(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadTree(&buf, stack.NewTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := got.LeavesByICount()
+	if len(leaves) != 2 {
+		t.Fatalf("restored %d leaves, want 2", len(leaves))
+	}
+	if leaves[0].ImageHash != 0xdeadbeefcafe || leaves[0].ImageSize != 4096 {
+		t.Fatalf("stamp lost: %+v", leaves[0])
+	}
+	if leaves[1].ImageHash != 0 || leaves[1].ImageSize != 4096 {
+		t.Fatalf("zero-hash stamp lost: %+v", leaves[1])
+	}
+}
+
 func TestReadTreeRejectsGarbage(t *testing.T) {
 	if _, _, err := ReadTree(bytes.NewReader([]byte("not a tree")), stack.NewTable()); err == nil {
 		t.Fatal("garbage input accepted")

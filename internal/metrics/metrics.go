@@ -312,6 +312,46 @@ func ResetImageCacheCounters() {
 	imageCacheMisses.Store(0)
 }
 
+// Crash-image equivalence-classing counters. Every analysis folds its
+// classing activity in here so harnesses can observe process-wide how
+// many replays phase-1 stamping elided and how warm the persistent
+// cross-run verdict cache ran.
+var (
+	classingClasses   atomic.Int64
+	classingInherited atomic.Int64
+	classingAvoided   atomic.Int64
+	persistentHits    atomic.Int64
+	persistentMisses  atomic.Int64
+)
+
+// RecordClassing accumulates one analysis run's classing activity:
+// distinct crash-image classes, members that inherited their class
+// verdict, replays avoided outright, and persistent verdict-cache hits
+// and misses. Safe for concurrent runs.
+func RecordClassing(classes, inherited, avoided, pHits, pMisses int) {
+	classingClasses.Add(int64(classes))
+	classingInherited.Add(int64(inherited))
+	classingAvoided.Add(int64(avoided))
+	persistentHits.Add(int64(pHits))
+	persistentMisses.Add(int64(pMisses))
+}
+
+// ClassingCounters returns the process-wide classing totals recorded
+// since the last reset.
+func ClassingCounters() (classes, inherited, avoided, pHits, pMisses int) {
+	return int(classingClasses.Load()), int(classingInherited.Load()),
+		int(classingAvoided.Load()), int(persistentHits.Load()), int(persistentMisses.Load())
+}
+
+// ResetClassingCounters zeroes the classing totals.
+func ResetClassingCounters() {
+	classingClasses.Store(0)
+	classingInherited.Store(0)
+	classingAvoided.Store(0)
+	persistentHits.Store(0)
+	persistentMisses.Store(0)
+}
+
 // Checkpointed-replay counters. Every analysis folds its checkpoint
 // recording and restore traffic in here so harnesses can observe
 // process-wide how much prefix re-execution the checkpoint store

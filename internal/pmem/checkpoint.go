@@ -98,6 +98,10 @@ type checkpoint struct {
 	delta   map[uint64][]byte
 	hash    uint64
 	touched int
+	// prefix is the rolling graceful-crash prefix hash at the snapshot
+	// (zero unless the recording engine tracked it); restore carries it
+	// over so gap replays keep it rolling.
+	prefix uint64
 	// lines and queue are deep copies of the volatile cache and the
 	// write-pending queue.
 	lines []line
@@ -206,6 +210,7 @@ func (s *CheckpointStore) take(e *Engine) {
 		icount:  e.icount,
 		offset:  len(s.log),
 		hash:    e.mediumHash,
+		prefix:  e.prefixHash,
 		touched: e.mediumMax,
 	}
 	if len(s.dirty) > 0 {
@@ -277,6 +282,7 @@ func (s *CheckpointStore) restore(idx int) *Engine {
 		}
 	}
 	e.mediumHash = cp.hash
+	e.prefixHash = cp.prefix
 	e.mediumMax = cp.touched
 	for i := range cp.lines {
 		ln := cp.lines[i]
@@ -362,8 +368,7 @@ func (s *CheckpointStore) ReplayTo(target uint64, deadline time.Time) (*Engine, 
 			base, n := binary.Uvarint(s.log[pos:])
 			pos += n
 			if ln := e.lines[base]; ln != nil {
-				e.writeBack(ln)
-				delete(e.lines, base)
+				e.evictLine(ln)
 			}
 		default:
 			return nil, 0, fmt.Errorf("pmem: corrupt checkpoint log: tag %d at offset %d", tag, pos)

@@ -55,6 +55,16 @@ type Engine struct {
 	// over the medium, maintained incrementally at each line write so
 	// image content keys never require a full-pool scan.
 	mediumHash uint64
+	// prefixHash, maintained only under Options.TrackPrefixHash, is the
+	// rolling XOR fold of per-line content hashes over the coherent
+	// (load-visible) state — which is provably also the graceful-crash
+	// PrefixImage state: for an uncached line both are medium plus queued
+	// write-backs in issue order, and a cached line's data is seeded from
+	// that view and kept coherent, so its non-dirty bytes always equal
+	// it. The fold therefore changes only where the coherent view does:
+	// stores, NT stores, and seeded evictions whose dirty bytes are
+	// re-overlaid by an older queued write-back (evictLine).
+	prefixHash uint64
 
 	// mediumMax is the medium high-water mark: the end offset of the
 	// highest line ever persisted. Checkpoint restores copy only
@@ -94,6 +104,9 @@ func NewEngineFromImage(opts Options, img *Image) *Engine {
 	// snapshots stay hash-tracked; engine-produced images carry the
 	// hash already, making this O(1) on the oracle path.
 	e.mediumHash = img.Hash()
+	// Cache and queue are empty at restart, so the prefix state equals
+	// the medium.
+	e.prefixHash = e.mediumHash
 	// The image may hold data anywhere in the pool; the watermark
 	// optimisation only applies to engines grown from a zeroed pool.
 	e.mediumMax = len(e.medium)
@@ -103,6 +116,7 @@ func NewEngineFromImage(opts Options, img *Image) *Engine {
 		// carry the image as its base state.
 		e.ckpt.base = append([]byte(nil), e.medium...)
 		e.ckpt.cps[0].hash = e.mediumHash
+		e.ckpt.cps[0].prefix = e.prefixHash
 		e.ckpt.cps[0].touched = e.mediumMax
 	}
 	return e
@@ -135,11 +149,15 @@ func (e *Engine) ICount() uint64 { return e.icount }
 func (e *Engine) Stacks() *stack.Table { return e.opts.Stacks }
 
 // AttachHook registers a hook; it also registers the hook as an
-// annotation observer when it implements AnnotationObserver.
+// annotation observer when it implements AnnotationObserver, and hands
+// it the engine when it implements EngineObserver.
 func (e *Engine) AttachHook(h Hook) {
 	e.hooks = append(e.hooks, h)
 	if ao, ok := h.(AnnotationObserver); ok {
 		e.anns = append(e.anns, ao)
+	}
+	if eo, ok := h.(EngineObserver); ok {
+		eo.ObserveEngine(e)
 	}
 }
 
@@ -264,7 +282,13 @@ func (e *Engine) applyStore(addr uint64, data []byte) {
 	for len(data) > 0 {
 		ln := e.lineFor(addr)
 		off := addr - ln.base
+		if e.opts.TrackPrefixHash {
+			e.prefixHash ^= lineContrib(ln.base, ln.data[:])
+		}
 		n := copy(ln.data[off:], data)
+		if e.opts.TrackPrefixHash {
+			e.prefixHash ^= lineContrib(ln.base, ln.data[:])
+		}
 		ln.dirty |= storeMask(off, n)
 		addr += uint64(n)
 		data = data[n:]
@@ -313,6 +337,17 @@ func (e *Engine) applyNTStore(addr uint64, data []byte) {
 		n := CacheLineSize - int(off)
 		if n > len(data) {
 			n = len(data)
+		}
+		if e.opts.TrackPrefixHash {
+			// The coherent view of this line before the chunk applies:
+			// the cached copy when present, else medium plus queue.
+			cur := e.lineView(base)
+			if ln := e.lines[base]; ln != nil {
+				cur = ln.data
+			}
+			e.prefixHash ^= lineContrib(base, cur[:])
+			copy(cur[off:], data[:n])
+			e.prefixHash ^= lineContrib(base, cur[:])
 		}
 		var p pending
 		p.base = base
@@ -606,12 +641,46 @@ func (e *Engine) maybeEvict() {
 		if e.ckpt != nil {
 			e.ckpt.record(ckEvict, e.icount, base, nil)
 		}
-		e.writeBack(ln)
-		delete(e.lines, base)
+		e.evictLine(ln)
 		e.stats.Evictions++
 		return
 	}
 }
+
+// evictLine writes a line back and drops it from the cache (the state
+// mutation of a seeded eviction, live or replayed from the checkpoint
+// log). Eviction is the one operation besides stores that can change
+// the coherent view: when an older queued write-back overlaps the
+// line's dirty bytes, the queue re-overlays the freshly written-back
+// medium at the next drain, so the post-eviction view reverts those
+// bytes to the queued (older) data. The rolling prefix hash swaps the
+// line's contribution only when that happened.
+func (e *Engine) evictLine(ln *line) {
+	if !e.opts.TrackPrefixHash {
+		e.writeBack(ln)
+		delete(e.lines, ln.base)
+		return
+	}
+	old := ln.data
+	e.writeBack(ln)
+	delete(e.lines, ln.base)
+	if cur := e.lineView(ln.base); cur != old {
+		e.prefixHash ^= lineContrib(ln.base, old[:])
+		e.prefixHash ^= lineContrib(ln.base, cur[:])
+	}
+}
+
+// RollingPrefixHash returns the incrementally maintained content hash
+// of the graceful-crash prefix image — the value PrefixImageHash
+// computes on demand — valid only under Options.TrackPrefixHash.
+// Reading it is O(1), so phase 1 can stamp every candidate failure
+// point with its prospective crash-image identity as the instrumented
+// run executes.
+func (e *Engine) RollingPrefixHash() uint64 { return e.prefixHash }
+
+// TracksPrefixHash reports whether the engine maintains the rolling
+// prefix-image hash.
+func (e *Engine) TracksPrefixHash() bool { return e.opts.TrackPrefixHash }
 
 // DirtyLines returns the bases of currently dirty cache lines in
 // ascending order. Used by tests and by image construction.

@@ -117,6 +117,14 @@ type AnnotationObserver interface {
 	OnAnnotation(*Annotation)
 }
 
+// EngineObserver is implemented by hooks that want a reference to the
+// engine they are attached to — e.g. to read the rolling prefix-image
+// hash at event time. AttachHook calls ObserveEngine once, at
+// attachment.
+type EngineObserver interface {
+	ObserveEngine(*Engine)
+}
+
 // CrashSignal is the panic value used to crash an instrumented execution
 // at a chosen instruction. The orchestrator recovers it and materialises
 // the corresponding crash image.

@@ -87,6 +87,14 @@ type Options struct {
 	// the whole prefix. Recording costs memory proportional to the
 	// trace; leave it zero for engines that are themselves replays.
 	CheckpointEvery uint64
+	// TrackPrefixHash makes the engine maintain a rolling content hash of
+	// the graceful-crash (PrefixImage) state alongside execution, so the
+	// prospective crash-image identity at any instruction is readable in
+	// O(1) via RollingPrefixHash instead of O(changed lines) via
+	// PrefixImageHash. Phase 1 of the campaign uses it to stamp every
+	// candidate failure point with its crash-image equivalence class one
+	// phase before injection. Costs two per-line hash folds per store.
+	TrackPrefixHash bool
 	// Capture selects stack capture.
 	Capture StackCapture
 	// Stacks is the table stacks are interned into. A shared table lets
